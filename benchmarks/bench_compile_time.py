@@ -1,0 +1,36 @@
+"""Compiler throughput: how fast the Lift pipeline itself runs.
+
+Not a paper experiment, but standard engineering hygiene for a compiler
+repository: tracks the cost of each pipeline configuration on the most
+structurally complex programs.
+"""
+
+import pytest
+
+from repro.benchsuite.common import get_benchmark
+from repro.compiler import CompilerOptions, compile_kernel
+from tests.programs import partial_dot
+
+
+def test_compile_dot_product(benchmark):
+    options = CompilerOptions(local_size=(64, 1, 1))
+
+    def compile_it():
+        return compile_kernel(partial_dot(), options)
+
+    kernel = benchmark(compile_it)
+    assert "kernel void" in kernel.source
+
+
+@pytest.mark.parametrize("name", ["mm-nvidia", "convolution", "nbody-nvidia"])
+def test_compile_benchmark_kernels(benchmark, name):
+    bench = get_benchmark(name)
+    size_env = dict(bench.sizes["small"])
+    stage = bench.stages[0]
+    options = CompilerOptions(local_size=stage.local_size)
+
+    def compile_it():
+        return compile_kernel(stage.build(size_env), options)
+
+    kernel = benchmark(compile_it)
+    assert "kernel void" in kernel.source

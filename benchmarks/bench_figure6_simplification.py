@@ -1,0 +1,37 @@
+"""Figure 6: the array-index simplification trace, and simplifier speed.
+
+Checks the paper's exact result (the matrix-transposition index
+simplifies to ``l_id * N + wg_id``) and benchmarks the simplifier on the
+kind of expressions the view system produces.
+"""
+
+from repro.arith import Range, Var, simplify
+from repro.arith.expr import IntDiv, Mod, Prod, Sum
+from repro.benchsuite.figure6 import check_figure6, figure6_trace, format_figure6
+
+
+def test_figure6_trace_is_exact(capsys):
+    assert check_figure6()
+    trace = figure6_trace()
+    # line 2 of the figure: wg_id + l_id * N
+    m, n = Var("M"), Var("N")
+    l_id = Var("l_id", Range.of(0, m))
+    wg_id = Var("wg_id", Range.of(0, n))
+    assert trace.intermediate == simplify(Sum([wg_id, Prod([l_id, n])]))
+    with capsys.disabled():
+        print()
+        print(format_figure6())
+
+
+def test_simplifier_throughput(benchmark):
+    """Simplify a transposition-style index (the hot path of the
+    compiler's array-access generation)."""
+    m, n = Var("M"), Var("N")
+    wg_id = Var("wg_id", Range.of(0, n))
+    l_id = Var("l_id", Range.of(0, m))
+    flat = Sum([Prod([wg_id, m]), l_id])
+    remapped = Sum([IntDiv(flat, m), Prod([Mod(flat, m), n])])
+    raw = Sum([Prod([IntDiv(remapped, n), n]), Mod(remapped, n)])
+
+    result = benchmark(simplify, raw)
+    assert result == simplify(Sum([Prod([l_id, n]), wg_id]))

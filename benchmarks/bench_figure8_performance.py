@@ -1,0 +1,52 @@
+"""Figure 8: relative performance of Lift-generated kernels.
+
+One benchmark entry per Table 1 row.  Each measures the simulated cycles
+of the generated kernel (full optimizations) — the quantity behind the
+Figure 8 bars — and asserts correctness plus the paper's qualitative
+claims: array-access simplification never hurts, and the full pipeline
+reaches a substantial fraction of hand-written performance.
+
+The printed summary (``-s`` to see it) is the Figure 8 table itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.common import ALL_BENCHMARKS, get_benchmark
+from repro.benchsuite.figure8 import format_figure8, measure_benchmark
+
+_ALL_CELLS = []
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_figure8_benchmark(benchmark, name, sizes):
+    bench = get_benchmark(name)
+    cells = []
+    for size in sizes:
+        cells.extend(measure_benchmark(bench, size))
+    _ALL_CELLS.extend(cells)
+
+    by_level = {}
+    for cell in cells:
+        by_level.setdefault(cell.level, []).append(cell.relative_performance)
+
+    # The paper's qualitative claims (section 7.4):
+    # enabling array-access simplification never makes things worse ...
+    assert min(by_level["all"]) >= min(by_level["none"]) - 1e-9
+    # ... and fully optimized code reaches a substantial fraction of the
+    # hand-written kernels' performance.
+    assert np.mean(by_level["all"]) > 0.6
+
+    def measured():
+        return measure_benchmark(bench, sizes[0])
+
+    result = benchmark.pedantic(measured, rounds=1, iterations=1)
+    assert result
+
+
+def test_zz_print_figure8_table(capsys):
+    """Prints the assembled Figure 8 after all cells are measured."""
+    if _ALL_CELLS:
+        with capsys.disabled():
+            print()
+            print(format_figure8(_ALL_CELLS))

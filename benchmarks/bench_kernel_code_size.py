@@ -1,0 +1,47 @@
+"""Section 7.4's code-size anecdote: disabling array-access
+simplification blows up the generated kernel text.
+
+The paper reports multi-megabyte kernels for matrix multiplication; at
+our scaled sizes the blow-up factor is smaller but the direction and
+mechanism (unsimplified view compositions duplicating whole
+subexpressions) are the same.
+"""
+
+import pytest
+
+from repro.benchsuite.common import get_benchmark
+from repro.compiler import CompilerOptions, compile_kernel
+
+
+@pytest.mark.parametrize("name", ["convolution", "mm-nvidia", "gemv"])
+def test_kernel_size_blowup(benchmark, name):
+    bench = get_benchmark(name)
+    size_env = dict(bench.sizes["small"])
+    stage = bench.stages[0]
+
+    def compile_both():
+        optimized = compile_kernel(
+            stage.build(size_env), CompilerOptions.all(local_size=stage.local_size)
+        )
+        naive = compile_kernel(
+            stage.build(size_env), CompilerOptions.none(local_size=stage.local_size)
+        )
+        return len(optimized.source), len(naive.source)
+
+    opt_size, naive_size = benchmark.pedantic(compile_both, rounds=1, iterations=1)
+    assert naive_size > opt_size, (
+        f"{name}: naive kernel ({naive_size}B) should exceed the "
+        f"simplified one ({opt_size}B)"
+    )
+
+
+def test_dot_product_kernel_sizes():
+    from tests.programs import partial_dot
+
+    optimized = compile_kernel(
+        partial_dot(), CompilerOptions.all(local_size=(64, 1, 1))
+    )
+    naive = compile_kernel(
+        partial_dot(), CompilerOptions.none(local_size=(64, 1, 1))
+    )
+    assert len(naive.source) > len(optimized.source)

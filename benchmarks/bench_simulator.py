@@ -1,0 +1,62 @@
+"""Simulated-device throughput: the execution substrate's own speed.
+
+Tracks how many work-items per second the NDRange interpreter executes
+for a representative kernel — useful for sizing future experiments.
+"""
+
+import numpy as np
+
+from repro.opencl import Buffer, OpenCLProgram, launch
+
+_SAXPY = """
+kernel void SAXPY(const global float * restrict x,
+                  const global float * restrict y,
+                  global float *out, float a, int n) {
+  int i = get_global_id(0);
+  if (i < n) { out[i] = a * x[i] + y[i]; }
+}
+"""
+
+_REDUCTION = """
+kernel void REDUCE(const global float * restrict x, global float *out) {
+  local float tmp[64];
+  int l = get_local_id(0);
+  tmp[l] = x[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 32; s > 0; s = s / 2) {
+    if (l < s) { tmp[l] = tmp[l] + tmp[l + s]; }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (l < 1) { out[get_group_id(0)] = tmp[0]; }
+}
+"""
+
+
+def test_simulator_saxpy_throughput(benchmark):
+    n = 4096
+    program = OpenCLProgram(_SAXPY)
+    x = Buffer.from_array(np.arange(n, dtype=float))
+    y = Buffer.from_array(np.ones(n))
+
+    def run():
+        out = Buffer.zeros(n)
+        launch(program, n, 64,
+               {"x": x, "y": y, "out": out, "a": 2.0, "n": n})
+        return out
+
+    out = benchmark(run)
+    np.testing.assert_allclose(out.data, 2.0 * np.arange(n) + 1)
+
+
+def test_simulator_barrier_lockstep_throughput(benchmark):
+    n = 1024
+    program = OpenCLProgram(_REDUCTION)
+    x = Buffer.from_array(np.ones(n))
+
+    def run():
+        out = Buffer.zeros(n // 64)
+        launch(program, n, 64, {"x": x, "out": out})
+        return out
+
+    out = benchmark(run)
+    np.testing.assert_allclose(out.data, 64.0)

@@ -1,0 +1,19 @@
+"""Shared fixtures for the experiment benchmarks."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-sizes",
+        action="store_true",
+        default=False,
+        help="also run the 'large' input sizes (slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def sizes(request):
+    if request.config.getoption("--paper-sizes"):
+        return ("small", "large")
+    return ("small",)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Tiled matrix multiplication, the MM benchmark's NVIDIA variant.
+
+Shows a non-trivial optimization structure expressed purely in the Lift
+IL: 2D work-groups, cooperative local-memory staging of A- and B-tiles,
+an array accumulator updated across k-tiles, and output reassembly
+through a scatter permutation.  The same program is compiled at the
+paper's three optimization levels to show the Figure 8 effect.
+"""
+
+import numpy as np
+
+from repro.benchsuite.mm import _program_nvidia, T
+from repro.compiler import CompilerOptions, compile_kernel, execute_kernel
+from repro.opencl.cost import DEVICES, estimate_cycles
+
+
+def main() -> None:
+    m = n = k = 16
+    program = _program_nvidia(m, n, k)
+
+    rng = np.random.default_rng(1)
+    a = rng.random((m, k))
+    b = rng.random((k, n))
+    expected = (a @ b).ravel()
+
+    levels = {
+        "no optimizations": CompilerOptions.none(local_size=(T, T, 1)),
+        "barrier elim + control flow": CompilerOptions.barrier_cf(local_size=(T, T, 1)),
+        "full (+ array access simp.)": CompilerOptions.all(local_size=(T, T, 1)),
+    }
+
+    profile = DEVICES["nvidia"]
+    print(f"tiled {m}x{k} @ {k}x{n} matrix multiplication, tile {T}x{T}\n")
+    for label, options in levels.items():
+        kernel = compile_kernel(_program_nvidia(m, n, k), options)
+        result = execute_kernel(
+            kernel, {"A": a, "B": b}, {}, global_size=(n, m, 1),
+            local_size=(T, T, 1),
+        )
+        np.testing.assert_allclose(result.output, expected, rtol=1e-9)
+        cycles = estimate_cycles(result.counters, profile)
+        print(f"  {label:<30} OK  "
+              f"kernel: {len(kernel.source):>6} bytes, "
+              f"estimated cycles: {cycles:>12.0f}")
+
+    print("\nArray-access simplification shrinks both the kernel text and "
+          "the executed index arithmetic — the paper's section 7.4 effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""N-Body simulation stepping: both Table 1 styles, compared.
+
+Runs a few integration steps of the N-Body system using the NVIDIA-SDK
+style (local-memory tiling) and the AMD-SDK style (flat, vectorized)
+Lift programs, checks them against each other and against NumPy, and
+compares their simulated costs — locality in action.
+"""
+
+import numpy as np
+
+from repro.benchsuite.nbody import TILE, _make_inputs, _oracle, _program_amd, _program_nvidia
+from repro.compiler import CompilerOptions, compile_kernel, execute_kernel
+from repro.opencl.cost import DEVICES, estimate_cycles
+
+
+def step(program, inputs, n, local_size):
+    kernel = compile_kernel(program, CompilerOptions(local_size=local_size))
+    return execute_kernel(
+        kernel,
+        inputs,
+        {},
+        global_size=(n, 1, 1),
+        local_size=local_size,
+    )
+
+
+def main() -> None:
+    n = 64
+    rng = np.random.default_rng(3)
+    inputs = _make_inputs({"N": n}, rng)
+    expected = _oracle(inputs, {"N": n})
+
+    tiled = step(_program_nvidia(n), inputs, n, (TILE, 1, 1))
+    flat = step(_program_amd(n), inputs, n, (64, 1, 1))
+
+    np.testing.assert_allclose(tiled.output, expected, rtol=1e-7)
+    np.testing.assert_allclose(flat.output, expected, rtol=1e-7)
+    np.testing.assert_allclose(tiled.output, flat.output, rtol=1e-7)
+    print(f"one N-Body step for {n} bodies: both styles match NumPy")
+
+    profile = DEVICES["nvidia"]
+    print(f"  tiled (local memory): "
+          f"{tiled.counters.global_loads:>7} global loads, "
+          f"{estimate_cycles(tiled.counters, profile):>10.0f} cycles")
+    print(f"  flat  (all global):   "
+          f"{flat.counters.global_loads:>7} global loads, "
+          f"{estimate_cycles(flat.counters, profile):>10.0f} cycles")
+    print("\nThe tiled version trades global reads for local-memory reuse —"
+          "\nexactly the trade-off the two vendor SDK samples embody.")
+
+    # A short trajectory: feed positions/velocities back in.
+    state = dict(inputs)
+    for i in range(3):
+        result = step(_program_amd(n), state, n, (64, 1, 1))
+        interleaved = result.output.reshape(n, 8)
+        state["pos"] = interleaved[:, :4].ravel()
+        state["vel"] = interleaved[:, 4:].ravel()
+    print(f"\n3 further steps integrated; "
+          f"centre of mass drift: "
+          f"{abs(state['pos'].reshape(n, 4)[:, :3].mean()):.4f}")
+
+
+if __name__ == "__main__":
+    main()

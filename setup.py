@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works without build isolation
+(this environment has no network access to fetch isolated build deps)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — a Python reproduction of the Lift compiler (CGO 2017).
+
+    Steuwer, Remmelg, Dubach:
+    "Lift: A Functional Data-Parallel IR for High-Performance GPU Code
+    Generation", CGO 2017.
+
+Public surface:
+
+* :mod:`repro.ir` / :mod:`repro.ir.dsl` — the Lift IL: patterns,
+  expression nodes, and builders for writing programs;
+* :mod:`repro.compiler` — the Lift-to-OpenCL compiler (type analysis,
+  address spaces, views, barrier elimination, code generation);
+* :mod:`repro.opencl` — the simulated OpenCL platform the kernels run on;
+* :mod:`repro.rewrite` — rewrite rules and lowering recipes;
+* :mod:`repro.benchsuite` — the paper's 12 benchmarks and the harnesses
+  regenerating Table 1 and Figures 6 and 8.
+
+Quick start::
+
+    import numpy as np
+    from repro import compile_and_run
+    from repro.arith import Var
+    from repro.types import ArrayType, FLOAT
+    from repro.ir.nodes import Lambda, Param
+    from repro.ir.dsl import map_glb, add, f32, reduce_seq
+
+    n = Var("N")
+    x = Param(ArrayType(FLOAT, n), "x")
+    program = Lambda([x], reduce_seq(add(), f32(0.0))(x))
+    result = compile_and_run(program, {"x": np.ones(64)}, {"N": 64},
+                             global_size=1, local_size=(1, 1, 1))
+"""
+
+from repro.compiler.codegen import CompiledKernel, compile_kernel
+from repro.compiler.kernel import compile_and_run, execute_kernel
+from repro.compiler.options import CompilerOptions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledKernel",
+    "CompilerOptions",
+    "compile_and_run",
+    "compile_kernel",
+    "execute_kernel",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""Symbolic arithmetic on natural numbers with range information.
+
+This package implements the arithmetic expression language the Lift
+compiler uses for array lengths and array indices (paper section 5.1 and
+5.3).  Expressions are built from constants, named variables carrying
+*range* information, sums, products, integer division, modulo, powers and
+logarithms.  A symbolic simplifier implements the paper's algebraic rules
+(1)-(6) plus the supporting canonicalizations needed to reproduce the
+Figure 6 simplification trace.
+
+Node constructors are *raw* (no rewriting happens in ``__init__``); the
+Python operators (``+``, ``*``, ``//``, ``%``) and :func:`simplify` go
+through the smart constructors in :mod:`repro.arith.simplify`.  This split
+lets the compiler emit both un-simplified and simplified array indices,
+which is the ablation knob of the paper's Figure 8.
+"""
+
+from repro.arith.expr import (
+    ArithExpr,
+    Cst,
+    IntDiv,
+    Log2,
+    Mod,
+    Pow,
+    Prod,
+    Sum,
+    Var,
+    free_vars,
+    substitute,
+)
+from repro.arith.ranges import Range
+from repro.arith.simplify import (
+    add,
+    bound_max,
+    bound_min,
+    int_div,
+    mod,
+    mul,
+    pow_,
+    prove_ge_zero,
+    prove_lt,
+    simplify,
+    sub,
+    sum_of,
+    prod_of,
+)
+
+__all__ = [
+    "ArithExpr",
+    "Cst",
+    "IntDiv",
+    "Log2",
+    "Mod",
+    "Pow",
+    "Prod",
+    "Sum",
+    "Var",
+    "Range",
+    "add",
+    "bound_max",
+    "bound_min",
+    "free_vars",
+    "int_div",
+    "mod",
+    "mul",
+    "pow_",
+    "prod_of",
+    "prove_ge_zero",
+    "prove_lt",
+    "simplify",
+    "sub",
+    "substitute",
+    "sum_of",
+]

@@ -1,0 +1,476 @@
+"""Arithmetic expression nodes.
+
+These are the raw, immutable AST nodes.  Constructing them performs *no*
+simplification; the smart constructors live in :mod:`repro.arith.simplify`
+and are reached through the overloaded Python operators.  All nodes are
+hashable so they can be used as dictionary keys during canonicalization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.arith.ranges import Range
+
+_var_counter = itertools.count()
+
+
+class ArithExpr:
+    """Base class of all arithmetic expressions.
+
+    Subclasses are value objects: equality and hashing are structural.
+    The overloaded operators produce *simplified* results; use the node
+    constructors directly (``Sum([a, b])``) to build raw expressions.
+    """
+
+    __slots__ = ()
+
+    # -- operators (smart constructors) ---------------------------------
+    def __add__(self, other: "ArithExpr | int") -> "ArithExpr":
+        from repro.arith.simplify import add
+
+        return add(self, to_expr(other))
+
+    def __radd__(self, other: int) -> "ArithExpr":
+        from repro.arith.simplify import add
+
+        return add(to_expr(other), self)
+
+    def __sub__(self, other: "ArithExpr | int") -> "ArithExpr":
+        from repro.arith.simplify import sub
+
+        return sub(self, to_expr(other))
+
+    def __rsub__(self, other: int) -> "ArithExpr":
+        from repro.arith.simplify import sub
+
+        return sub(to_expr(other), self)
+
+    def __mul__(self, other: "ArithExpr | int") -> "ArithExpr":
+        from repro.arith.simplify import mul
+
+        return mul(self, to_expr(other))
+
+    def __rmul__(self, other: int) -> "ArithExpr":
+        from repro.arith.simplify import mul
+
+        return mul(to_expr(other), self)
+
+    def __floordiv__(self, other: "ArithExpr | int") -> "ArithExpr":
+        from repro.arith.simplify import int_div
+
+        return int_div(self, to_expr(other))
+
+    def __rfloordiv__(self, other: int) -> "ArithExpr":
+        from repro.arith.simplify import int_div
+
+        return int_div(to_expr(other), self)
+
+    def __mod__(self, other: "ArithExpr | int") -> "ArithExpr":
+        from repro.arith.simplify import mod
+
+        return mod(self, to_expr(other))
+
+    def __rmod__(self, other: int) -> "ArithExpr":
+        from repro.arith.simplify import mod
+
+        return mod(to_expr(other), self)
+
+    def __pow__(self, other: "ArithExpr | int") -> "ArithExpr":
+        from repro.arith.simplify import pow_
+
+        return pow_(self, to_expr(other))
+
+    def __neg__(self) -> "ArithExpr":
+        from repro.arith.simplify import mul
+
+        return mul(Cst(-1), self)
+
+    # -- evaluation ------------------------------------------------------
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate to an integer given a value for every free variable."""
+        raise NotImplementedError
+
+    def children(self) -> Iterable["ArithExpr"]:
+        return ()
+
+    def try_int(self) -> int | None:
+        """Return the integer value if this is a constant, else ``None``."""
+        return None
+
+    # -- ordering key for canonical forms --------------------------------
+    def sort_key(self) -> tuple:
+        return (type(self).__name__, str(self))
+
+
+class Cst(ArithExpr):
+    """An integer constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not isinstance(value, int):
+            raise TypeError(f"Cst requires an int, got {value!r}")
+        self.value = value
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def try_int(self) -> int | None:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Cst) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Cst", self.value))
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+    __str__ = __repr__
+
+
+class Var(ArithExpr):
+    """A named variable with an optional value range.
+
+    Two variables are equal iff their names are equal; the range is
+    metadata attached by whoever introduced the variable (a map loop, a
+    size parameter).  Use :meth:`fresh` for generated loop indices.
+    """
+
+    __slots__ = ("name", "range")
+
+    def __init__(self, name: str, range_: Range | None = None):
+        self.name = name
+        self.range = range_ if range_ is not None else Range.natural()
+
+    @staticmethod
+    def fresh(prefix: str, range_: Range | None = None) -> "Var":
+        return Var(f"{prefix}_{next(_var_counter)}", range_)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise KeyError(f"no value for variable {self.name!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+    __str__ = __repr__
+
+
+class Sum(ArithExpr):
+    """A sum of two or more terms."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Iterable[ArithExpr]):
+        self.terms = tuple(terms)
+        if len(self.terms) < 2:
+            raise ValueError("Sum requires at least two terms")
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return sum(t.evaluate(env) for t in self.terms)
+
+    def children(self) -> Iterable[ArithExpr]:
+        return self.terms
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Sum) and other.terms == self.terms
+
+    def __hash__(self) -> int:
+        return hash(("Sum", self.terms))
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(map(str, self.terms)) + ")"
+
+    __str__ = __repr__
+
+
+class Prod(ArithExpr):
+    """A product of two or more factors."""
+
+    __slots__ = ("factors",)
+
+    def __init__(self, factors: Iterable[ArithExpr]):
+        self.factors = tuple(factors)
+        if len(self.factors) < 2:
+            raise ValueError("Prod requires at least two factors")
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        result = 1
+        for f in self.factors:
+            result *= f.evaluate(env)
+        return result
+
+    def children(self) -> Iterable[ArithExpr]:
+        return self.factors
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Prod) and other.factors == self.factors
+
+    def __hash__(self) -> int:
+        return hash(("Prod", self.factors))
+
+    def __repr__(self) -> str:
+        return "(" + " * ".join(map(str, self.factors)) + ")"
+
+    __str__ = __repr__
+
+
+class IntDiv(ArithExpr):
+    """Integer (floor) division; the divisor is assumed positive."""
+
+    __slots__ = ("numer", "denom")
+
+    def __init__(self, numer: ArithExpr, denom: ArithExpr):
+        self.numer = numer
+        self.denom = denom
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        d = self.denom.evaluate(env)
+        if d == 0:
+            raise ZeroDivisionError(f"division by zero in {self}")
+        return self.numer.evaluate(env) // d
+
+    def children(self) -> Iterable[ArithExpr]:
+        return (self.numer, self.denom)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IntDiv)
+            and other.numer == self.numer
+            and other.denom == self.denom
+        )
+
+    def __hash__(self) -> int:
+        return hash(("IntDiv", self.numer, self.denom))
+
+    def __repr__(self) -> str:
+        return f"({self.numer} / {self.denom})"
+
+    __str__ = __repr__
+
+
+class Mod(ArithExpr):
+    """Modulo; the divisor is assumed positive."""
+
+    __slots__ = ("numer", "denom")
+
+    def __init__(self, numer: ArithExpr, denom: ArithExpr):
+        self.numer = numer
+        self.denom = denom
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        d = self.denom.evaluate(env)
+        if d == 0:
+            raise ZeroDivisionError(f"modulo by zero in {self}")
+        return self.numer.evaluate(env) % d
+
+    def children(self) -> Iterable[ArithExpr]:
+        return (self.numer, self.denom)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Mod)
+            and other.numer == self.numer
+            and other.denom == self.denom
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Mod", self.numer, self.denom))
+
+    def __repr__(self) -> str:
+        return f"({self.numer} % {self.denom})"
+
+    __str__ = __repr__
+
+
+class Pow(ArithExpr):
+    """A power with integer exponent."""
+
+    __slots__ = ("base", "exp")
+
+    def __init__(self, base: ArithExpr, exp: ArithExpr):
+        self.base = base
+        self.exp = exp
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.base.evaluate(env) ** self.exp.evaluate(env)
+
+    def children(self) -> Iterable[ArithExpr]:
+        return (self.base, self.exp)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Pow)
+            and other.base == self.base
+            and other.exp == self.exp
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Pow", self.base, self.exp))
+
+    def __repr__(self) -> str:
+        return f"pow({self.base}, {self.exp})"
+
+    __str__ = __repr__
+
+
+class Log2(ArithExpr):
+    """Base-2 logarithm (exact; the argument must be a power of two)."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: ArithExpr):
+        self.arg = arg
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        v = self.arg.evaluate(env)
+        if v <= 0 or v & (v - 1):
+            raise ValueError(f"log2 of non-power-of-two {v} in {self}")
+        return v.bit_length() - 1
+
+    def children(self) -> Iterable[ArithExpr]:
+        return (self.arg,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Log2) and other.arg == self.arg
+
+    def __hash__(self) -> int:
+        return hash(("Log2", self.arg))
+
+    def __repr__(self) -> str:
+        return f"log2({self.arg})"
+
+    __str__ = __repr__
+
+
+class LoadIndex(ArithExpr):
+    """A runtime-dependent index: the value loaded from an index buffer.
+
+    Produced by the ``filter`` pattern (data-dependent gather, as used by
+    the SHOC MD benchmark's neighbour lists).  The simplifier treats it
+    as an opaque atom: it simplifies the inner index but can prove
+    nothing about the loaded value.
+    """
+
+    __slots__ = ("memory_name", "index")
+
+    def __init__(self, memory_name: str, index: ArithExpr):
+        self.memory_name = memory_name
+        self.index = index
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError(
+            "LoadIndex depends on buffer contents; it only exists in "
+            "generated code"
+        )
+
+    def children(self) -> Iterable[ArithExpr]:
+        return (self.index,)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LoadIndex)
+            and other.memory_name == self.memory_name
+            and other.index == self.index
+        )
+
+    def __hash__(self) -> int:
+        return hash(("LoadIndex", self.memory_name, self.index))
+
+    def __repr__(self) -> str:
+        return f"{self.memory_name}[{self.index}]"
+
+    __str__ = __repr__
+
+
+def to_expr(value: "ArithExpr | int") -> ArithExpr:
+    """Coerce a plain integer to a constant node."""
+    if isinstance(value, ArithExpr):
+        return value
+    if isinstance(value, int):
+        return Cst(value)
+    raise TypeError(f"cannot convert {value!r} to an arithmetic expression")
+
+
+def free_vars(expr: ArithExpr) -> set[Var]:
+    """Collect every variable occurring in ``expr`` (including in ranges
+    is *not* done here; only the expression itself is walked)."""
+    found: set[Var] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var):
+            found.add(node)
+        else:
+            stack.extend(node.children())
+    return found
+
+
+def substitute(expr: ArithExpr, mapping: Mapping[Var, ArithExpr]) -> ArithExpr:
+    """Replace variables by expressions, re-simplifying along the way."""
+    from repro.arith.simplify import int_div, log2, mod, pow_, prod_of, sum_of
+
+    def go(node: ArithExpr) -> ArithExpr:
+        if isinstance(node, Var):
+            return mapping.get(node, node)
+        if isinstance(node, Cst):
+            return node
+        if isinstance(node, Sum):
+            return sum_of([go(t) for t in node.terms])
+        if isinstance(node, Prod):
+            return prod_of([go(f) for f in node.factors])
+        if isinstance(node, IntDiv):
+            return int_div(go(node.numer), go(node.denom))
+        if isinstance(node, Mod):
+            return mod(go(node.numer), go(node.denom))
+        if isinstance(node, Pow):
+            return pow_(go(node.base), go(node.exp))
+        if isinstance(node, Log2):
+            return log2(go(node.arg))
+        if isinstance(node, LoadIndex):
+            return LoadIndex(node.memory_name, go(node.index))
+        raise TypeError(f"unknown arithmetic node {node!r}")
+
+    return go(expr)
+
+
+def walk(expr: ArithExpr) -> Iterator[ArithExpr]:
+    """Yield every node of the expression tree (pre-order)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())
+
+
+def rebuild(expr: ArithExpr, fn: Callable[[ArithExpr], ArithExpr]) -> ArithExpr:
+    """Bottom-up rebuild applying ``fn`` at every node (raw constructors)."""
+    if isinstance(expr, (Var, Cst)):
+        return fn(expr)
+    if isinstance(expr, Sum):
+        return fn(Sum([rebuild(t, fn) for t in expr.terms]))
+    if isinstance(expr, Prod):
+        return fn(Prod([rebuild(f, fn) for f in expr.factors]))
+    if isinstance(expr, IntDiv):
+        return fn(IntDiv(rebuild(expr.numer, fn), rebuild(expr.denom, fn)))
+    if isinstance(expr, Mod):
+        return fn(Mod(rebuild(expr.numer, fn), rebuild(expr.denom, fn)))
+    if isinstance(expr, Pow):
+        return fn(Pow(rebuild(expr.base, fn), rebuild(expr.exp, fn)))
+    if isinstance(expr, Log2):
+        return fn(Log2(rebuild(expr.arg, fn)))
+    if isinstance(expr, LoadIndex):
+        return fn(LoadIndex(expr.memory_name, rebuild(expr.index, fn)))
+    raise TypeError(f"unknown arithmetic node {expr!r}")

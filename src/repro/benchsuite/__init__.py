@@ -1,0 +1,18 @@
+"""The paper's benchmark suite (Table 1) and experiment harnesses.
+
+Twelve benchmark configurations from six suites (NVIDIA SDK, AMD SDK,
+SHOC, Rodinia, Parboil, CLBlast), each with:
+
+* a hand-written reference OpenCL kernel faithful to the cited
+  implementation's optimization strategy,
+* a portable high-level Lift IL program,
+* a low-level Lift IL program mimicking the reference optimizations,
+* a NumPy oracle and input generators (small and large sizes).
+
+``repro.benchsuite.figure8`` regenerates the paper's Figure 8;
+``repro.benchsuite.table1`` regenerates Table 1.
+"""
+
+from repro.benchsuite.common import ALL_BENCHMARKS, Benchmark, get_benchmark
+
+__all__ = ["ALL_BENCHMARKS", "Benchmark", "get_benchmark"]

@@ -1,0 +1,57 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+    python -m repro.benchsuite table1
+    python -m repro.benchsuite figure6
+    python -m repro.benchsuite figure8 [--sizes small large] [--benchmarks nn gemv ...]
+    python -m repro.benchsuite all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchsuite",
+        description="Regenerate the Lift paper's evaluation artifacts.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "figure6", "figure8", "all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--sizes", nargs="+", default=["small"],
+        choices=["small", "large"], help="input sizes for figure8",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=None,
+        help="restrict figure8/table1 to these benchmarks",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment in ("table1", "all"):
+        from repro.benchsuite.table1 import format_table1, run_table1
+
+        print(format_table1(run_table1(args.benchmarks)))
+        print()
+
+    if args.experiment in ("figure6", "all"):
+        from repro.benchsuite.figure6 import format_figure6
+
+        print(format_figure6())
+        print()
+
+    if args.experiment in ("figure8", "all"):
+        from repro.benchsuite.figure8 import format_figure8, run_figure8
+
+        cells = run_figure8(args.benchmarks, sizes=tuple(args.sizes))
+        print(format_figure8(cells))
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""ATAX — y = Aᵀ(Ax) (CLBlast/PolyBench-style).
+
+Two chained GEMV-shaped kernels: the first computes ``tmp = A x``, the
+second ``y = Aᵀ tmp`` (expressed in the Lift IL with a ``transpose``
+view, so the second kernel reads A with a stride — no transposed copy is
+ever materialized).  Kernel runtimes are summed, as the paper does for
+multi-kernel benchmarks (section 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith import Var
+from repro.types import ArrayType, FLOAT, array
+from repro.ir.nodes import Expr, FunCall, Lambda, Param
+from repro.ir.dsl import (
+    f32,
+    get,
+    id_fun,
+    join,
+    lam,
+    lam2,
+    map_,
+    map_lcl,
+    map_wrg,
+    mult_and_sum_up,
+    reduce_,
+    to_global,
+    transpose,
+    zip_,
+)
+from repro.benchsuite.common import (
+    Benchmark,
+    Characteristics,
+    LiftStage,
+    RefLaunch,
+    register,
+)
+from repro.benchsuite.gemv import LOCAL, dot_row_work_group
+
+_REFERENCE_TEMPLATE = """
+kernel void MV(const global float * restrict A,
+               const global float * restrict x,
+               global float *tmp, int N, int K) {{
+  local float part[{L}];
+  for (int wg = get_group_id(0); wg < N; wg += get_num_groups(0)) {{
+    int l = get_local_id(0);
+    float s = 0.0f;
+    for (int j = l; j < K; j += {L}) {{
+      s = s + A[wg * K + j] * x[j];
+    }}
+    part[l] = s;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int sz = {L} / 2; sz > 0; sz = sz / 2) {{
+      if (l < sz) {{ part[l] = part[l] + part[l + sz]; }}
+      barrier(CLK_LOCAL_MEM_FENCE);
+    }}
+    if (l < 1) {{ tmp[wg] = part[0]; }}
+    barrier(CLK_GLOBAL_MEM_FENCE);
+  }}
+}}
+
+kernel void MTV(const global float * restrict A,
+                const global float * restrict tmp,
+                global float *out, int N, int K) {{
+  local float part[{L}];
+  for (int wg = get_group_id(0); wg < K; wg += get_num_groups(0)) {{
+    int l = get_local_id(0);
+    float s = 0.0f;
+    for (int j = l; j < N; j += {L}) {{
+      s = s + A[j * K + wg] * tmp[j];
+    }}
+    part[l] = s;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int sz = {L} / 2; sz > 0; sz = sz / 2) {{
+      if (l < sz) {{ part[l] = part[l] + part[l + sz]; }}
+      barrier(CLK_LOCAL_MEM_FENCE);
+    }}
+    if (l < 1) {{ out[wg] = part[0]; }}
+    barrier(CLK_GLOBAL_MEM_FENCE);
+  }}
+}}
+"""
+
+REFERENCE = _REFERENCE_TEMPLATE.format(L=LOCAL)
+
+
+def _mv_stage(transposed: bool, n_val, k_val):
+    """One GEMV-shaped stage, specialized for concrete dimensions; with
+    ``transposed`` the matrix is read through a transpose view (strided
+    accesses, no transposed copy)."""
+    a = Param(array(FLOAT, n_val, k_val), "A")
+    in_len = n_val if transposed else k_val
+    x = Param(ArrayType(FLOAT, in_len), "x")
+
+    def per_row(row):
+        partial = dot_row_work_group(zip_(row, x), in_len)
+        return to_global(map_lcl(id_fun()))(partial)
+
+    matrix: Expr = transpose()(a) if transposed else a
+    body = join()(map_wrg(lam(per_row))(matrix))
+    return Lambda([a, x], body)
+
+
+def _high_level():
+    n, k = Var("N"), Var("K")
+    a = Param(array(FLOAT, n, k), "A")
+    x = Param(ArrayType(FLOAT, k), "x")
+    musu = mult_and_sum_up()
+    reduce_pairs = lam2(lambda acc, xy: FunCall(musu, [acc, get(xy, 0), get(xy, 1)]))
+
+    def dot_with(vec):
+        return lam(
+            lambda row: map_(id_fun())(
+                reduce_(reduce_pairs, f32(0.0))(zip_(row, vec))
+            )
+        )
+
+    tmp_p = Param(ArrayType(FLOAT, n), "tmp")
+    inner = Lambda([tmp_p], join()(map_(dot_with(tmp_p))(transpose()(a))))
+    tmp = join()(map_(dot_with(x))(a))
+    return Lambda([a, x], FunCall(inner, [tmp]))
+
+
+def build() -> Benchmark:
+    def make_inputs(size_env, rng):
+        n, k = size_env["N"], size_env["K"]
+        return {"A": rng.random((n, k)), "x": rng.random(k)}
+
+    def oracle(inputs, size_env):
+        a = inputs["A"]
+        return a.T @ (a @ inputs["x"])
+
+    def mv_args(inputs, size_env, scratch):
+        return {
+            "A": inputs["A"],
+            "x": inputs["x"],
+            "tmp": np.zeros(size_env["N"]),
+            "N": size_env["N"],
+            "K": size_env["K"],
+        }
+
+    def mtv_args(inputs, size_env, scratch):
+        return {
+            "A": inputs["A"],
+            "tmp": scratch["MV"],
+            "out": np.zeros(size_env["K"]),
+            "N": size_env["N"],
+            "K": size_env["K"],
+        }
+
+    def groups(env, count_key):
+        return (min(env[count_key], 32) * LOCAL, 1, 1)
+
+    return Benchmark(
+        name="atax",
+        source_suite="CLBlast",
+        characteristics=Characteristics(
+            local_memory=True,
+            private_memory=False,
+            vectorization=False,
+            coalescing=True,
+            iteration_space="1D",
+        ),
+        sizes={
+            "small": {"N": 64, "K": 64},
+            "large": {"N": 128, "K": 128},
+        },
+        make_inputs=make_inputs,
+        oracle=oracle,
+        reference_source=REFERENCE,
+        reference_launches=[
+            RefLaunch(
+                kernel="MV",
+                make_args=mv_args,
+                global_size=lambda env: groups(env, "N"),
+                local_size=(LOCAL, 1, 1),
+                out_arg="tmp",
+            ),
+            RefLaunch(
+                kernel="MTV",
+                make_args=mtv_args,
+                global_size=lambda env: groups(env, "K"),
+                local_size=(LOCAL, 1, 1),
+                out_arg="out",
+            ),
+        ],
+        high_level=lambda env: _high_level(),
+        stages=[
+            LiftStage(
+                build=lambda env: _mv_stage(False, env["N"], env["K"]),
+                param_names=["A", "x"],
+                global_size=lambda env: groups(env, "N"),
+                local_size=(LOCAL, 1, 1),
+            ),
+            LiftStage(
+                build=lambda env: _mv_stage(True, env["N"], env["K"]),
+                param_names=["A", "__prev"],
+                global_size=lambda env: groups(env, "K"),
+                local_size=(LOCAL, 1, 1),
+            ),
+        ],
+        rtol=1e-9,
+    )
+
+
+register("atax")(build)

@@ -1,0 +1,138 @@
+"""Figure 8 reproduction: relative performance of generated code.
+
+For every benchmark, input size and optimization level, this harness
+
+1. runs the hand-written reference kernel(s) on the simulated device,
+2. compiles the low-level Lift IL at the given optimization level and
+   runs the generated kernel(s),
+3. checks both outputs against the NumPy oracle,
+4. converts the two counter sets into estimated cycles under each device
+   profile and reports the ratio (reference cycles / generated cycles).
+
+A relative performance of 1.0 means parity with the hand-written
+kernel; values below 1.0 mean the generated code is slower — the shape
+the paper's Figure 8 plots per optimization level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.compiler.options import OPTIMIZATION_LEVELS
+from repro.opencl.cost import DEVICES, estimate_cycles
+from repro.benchsuite.common import ALL_BENCHMARKS, Benchmark, get_benchmark
+
+LEVEL_LABELS = {
+    "none": "None",
+    "barrier_cf": "Barrier elim. + Control-flow simp.",
+    "all": "+ Array access simp.",
+}
+
+
+@dataclass
+class Figure8Cell:
+    """One bar of Figure 8."""
+
+    benchmark: str
+    size: str
+    level: str
+    device: str
+    relative_performance: float
+    reference_cycles: float
+    generated_cycles: float
+
+
+def measure_benchmark(
+    bench: Benchmark, size: str, seed: int = 7
+) -> list:
+    """All Figure 8 cells for one benchmark at one input size.
+
+    The simulator's counters are device-independent, so each
+    configuration executes once and is priced under both device
+    profiles.
+    """
+    inputs, size_env = bench.inputs_for(size, seed)
+    expected = bench.oracle(inputs, size_env)
+
+    ref_out, ref_counters = bench.run_reference(inputs, size_env)
+    np.testing.assert_allclose(
+        ref_out, expected, rtol=bench.rtol, atol=1e-7,
+        err_msg=f"{bench.name}: reference kernel produced wrong results",
+    )
+
+    cells: list[Figure8Cell] = []
+    for level_name, factory in OPTIMIZATION_LEVELS.items():
+        gen_out, gen_counters = bench.run_generated(
+            inputs, size_env, options_factory=factory
+        )
+        np.testing.assert_allclose(
+            gen_out, expected, rtol=bench.rtol, atol=1e-7,
+            err_msg=(
+                f"{bench.name}: generated kernel wrong at level {level_name}"
+            ),
+        )
+        for device_name, profile in DEVICES.items():
+            ref_cycles = estimate_cycles(ref_counters, profile)
+            gen_cycles = estimate_cycles(gen_counters, profile)
+            cells.append(
+                Figure8Cell(
+                    benchmark=bench.name,
+                    size=size,
+                    level=level_name,
+                    device=device_name,
+                    relative_performance=ref_cycles / gen_cycles,
+                    reference_cycles=ref_cycles,
+                    generated_cycles=gen_cycles,
+                )
+            )
+    return cells
+
+
+def run_figure8(
+    benchmarks: Optional[Iterable[str]] = None,
+    sizes: Iterable[str] = ("small", "large"),
+    seed: int = 7,
+) -> list:
+    names = list(benchmarks) if benchmarks is not None else list(ALL_BENCHMARKS)
+    cells: list[Figure8Cell] = []
+    for name in names:
+        bench = get_benchmark(name)
+        for size in sizes:
+            cells.extend(measure_benchmark(bench, size, seed))
+    return cells
+
+
+def format_figure8(cells: Iterable[Figure8Cell]) -> str:
+    """Render the cells as the paper's figure: one row per device and
+    benchmark, bars per optimization level and size."""
+    by_key: dict = {}
+    for cell in cells:
+        by_key.setdefault((cell.device, cell.benchmark, cell.size), {})[
+            cell.level
+        ] = cell.relative_performance
+
+    lines = [
+        "Figure 8: relative performance of generated code vs. hand-written"
+        " OpenCL (1.0 = parity)",
+        "",
+        f"{'device':<8} {'benchmark':<14} {'size':<6} "
+        f"{'None':>8} {'B+CF':>8} {'+AAS':>8}",
+    ]
+    for (device, benchmark, size), levels in sorted(by_key.items()):
+        lines.append(
+            f"{device:<8} {benchmark:<14} {size:<6} "
+            f"{levels.get('none', float('nan')):>8.3f} "
+            f"{levels.get('barrier_cf', float('nan')):>8.3f} "
+            f"{levels.get('all', float('nan')):>8.3f}"
+        )
+
+    perf = [c.relative_performance for c in cells if c.level == "all"]
+    if perf:
+        lines.append("")
+        lines.append(
+            f"geometric mean (+AAS): {float(np.exp(np.mean(np.log(perf)))):.3f}"
+        )
+    return "\n".join(lines)

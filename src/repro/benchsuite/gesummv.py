@@ -1,0 +1,222 @@
+"""GESUMMV — y = alpha*A*x + beta*B*x (CLBlast/PolyBench-style).
+
+A single kernel: each work-group computes both dot products (a row of A
+and the same row of B against x) with local tree reductions, then one
+thread combines them with the scalars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith import Var
+from repro.types import ArrayType, FLOAT, array
+from repro.ir.nodes import FunCall, Lambda, Param, UserFun
+from repro.ir.dsl import (
+    f32,
+    get,
+    id_fun,
+    join,
+    lam,
+    lam2,
+    map_,
+    map_lcl,
+    map_wrg,
+    mult_and_sum_up,
+    reduce_,
+    reduce_seq,
+    to_global,
+    to_local,
+    zip_,
+)
+from repro.benchsuite.common import (
+    Benchmark,
+    Characteristics,
+    LiftStage,
+    RefLaunch,
+    register,
+)
+from repro.benchsuite.gemv import LOCAL, dot_row_work_group
+
+_REFERENCE_TEMPLATE = """
+kernel void GESUMMV(const global float * restrict A,
+                    const global float * restrict B,
+                    const global float * restrict x,
+                    global float *out, int N, int K,
+                    float alpha, float beta) {{
+  local float partA[{L}];
+  local float partB[{L}];
+  for (int wg = get_group_id(0); wg < N; wg += get_num_groups(0)) {{
+    int l = get_local_id(0);
+    float sa = 0.0f;
+    float sb = 0.0f;
+    for (int j = l; j < K; j += {L}) {{
+      sa = sa + A[wg * K + j] * x[j];
+      sb = sb + B[wg * K + j] * x[j];
+    }}
+    partA[l] = sa;
+    partB[l] = sb;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int sz = {L} / 2; sz > 0; sz = sz / 2) {{
+      if (l < sz) {{
+        partA[l] = partA[l] + partA[l + sz];
+        partB[l] = partB[l] + partB[l + sz];
+      }}
+      barrier(CLK_LOCAL_MEM_FENCE);
+    }}
+    if (l < 1) {{ out[wg] = alpha * partA[0] + beta * partB[0]; }}
+    barrier(CLK_GLOBAL_MEM_FENCE);
+  }}
+}}
+"""
+
+REFERENCE = _REFERENCE_TEMPLATE.format(L=LOCAL)
+
+
+def _combine_fun() -> UserFun:
+    return UserFun(
+        "sumScaled",
+        ["da", "db", "alpha", "beta"],
+        "return alpha * da + beta * db;",
+        [FLOAT, FLOAT, FLOAT, FLOAT],
+        FLOAT,
+        py=lambda da, db, alpha, beta: alpha * da + beta * db,
+    )
+
+
+def _program(low_level: bool, k_val=None):
+    n = Var("N")
+    k = k_val if (low_level and k_val is not None) else Var("K")
+    a = Param(array(FLOAT, n, k), "A")
+    b = Param(array(FLOAT, n, k), "B")
+    x = Param(ArrayType(FLOAT, k), "x")
+    alpha = Param(FLOAT, "alpha")
+    beta = Param(FLOAT, "beta")
+    combine = _combine_fun()
+
+    if not low_level:
+        musu = mult_and_sum_up()
+        reduce_pairs = lam2(
+            lambda acc, xy: FunCall(musu, [acc, get(xy, 0), get(xy, 1)])
+        )
+
+        def per_rows(ab):
+            dot_a = reduce_(reduce_pairs, f32(0.0))(zip_(get(ab, 0), x))
+            dot_b = reduce_(reduce_pairs, f32(0.0))(zip_(get(ab, 1), x))
+            return map_(
+                lam(
+                    lambda p: FunCall(
+                        combine, [get(p, 0), get(p, 1), alpha, beta]
+                    )
+                )
+            )(zip_(dot_a, dot_b))
+
+        body = join()(map_(lam(per_rows))(zip_(a, b)))
+        return Lambda([a, b, x, alpha, beta], body)
+
+    # One fused pass, like the reference kernel's shared loop:
+    # alpha*(A.x) + beta*(B.x) = sum((alpha*a + beta*b) * x), so a single
+    # weighted partial dot and one tree reduction suffice.
+    weighted = UserFun(
+        "weightedMad",
+        ["acc", "a", "b", "xv", "alpha", "beta"],
+        "return acc + (alpha * a + beta * b) * xv;",
+        [FLOAT] * 6,
+        FLOAT,
+        py=lambda acc, a, b, xv, alpha, beta: acc + (alpha * a + beta * b) * xv,
+    )
+
+    def per_rows(ab):
+        triples = zip_(get(ab, 0), get(ab, 1), x)
+        step = lam2(
+            lambda acc, p: FunCall(
+                weighted,
+                [acc, get(p, 0), get(p, 1), get(p, 2), alpha, beta],
+            )
+        )
+        from repro.benchsuite.gemv import LOCAL as _L, halving_step
+        from repro.ir.dsl import compose, gather, id_fun, iterate, map_seq, split
+        from repro.ir.patterns import stride_indices
+
+        partial = compose(
+            iterate(4, halving_step()),
+            join(),
+            map_lcl(compose(to_local(map_seq(id_fun())), reduce_seq(step, f32(0.0)))),
+            split(k // _L),
+            gather(stride_indices(_L)),
+        )(triples)
+        return to_global(map_lcl(id_fun()))(partial)
+
+    body = join()(map_wrg(lam(per_rows))(zip_(a, b)))
+    return Lambda([a, b, x, alpha, beta], body)
+
+
+def build() -> Benchmark:
+    def make_inputs(size_env, rng):
+        n, k = size_env["N"], size_env["K"]
+        return {
+            "A": rng.random((n, k)),
+            "B": rng.random((n, k)),
+            "x": rng.random(k),
+            "alpha": 1.25,
+            "beta": 0.5,
+        }
+
+    def oracle(inputs, size_env):
+        return (
+            inputs["alpha"] * (inputs["A"] @ inputs["x"])
+            + inputs["beta"] * (inputs["B"] @ inputs["x"])
+        )
+
+    def ref_args(inputs, size_env, scratch):
+        return {
+            "A": inputs["A"],
+            "B": inputs["B"],
+            "x": inputs["x"],
+            "out": np.zeros(size_env["N"]),
+            "N": size_env["N"],
+            "K": size_env["K"],
+            "alpha": inputs["alpha"],
+            "beta": inputs["beta"],
+        }
+
+    return Benchmark(
+        name="gesummv",
+        source_suite="CLBlast",
+        characteristics=Characteristics(
+            local_memory=True,
+            private_memory=False,
+            vectorization=False,
+            coalescing=True,
+            iteration_space="1D",
+        ),
+        sizes={
+            "small": {"N": 64, "K": 64},
+            "large": {"N": 128, "K": 128},
+        },
+        make_inputs=make_inputs,
+        oracle=oracle,
+        reference_source=REFERENCE,
+        reference_launches=[
+            RefLaunch(
+                kernel="GESUMMV",
+                make_args=ref_args,
+                global_size=lambda env: (min(env["N"], 32) * LOCAL, 1, 1),
+                local_size=(LOCAL, 1, 1),
+                out_arg="out",
+            )
+        ],
+        high_level=lambda env: _program(low_level=False),
+        stages=[
+            LiftStage(
+                build=lambda env: _program(low_level=True, k_val=env["K"]),
+                param_names=["A", "B", "x", "alpha", "beta"],
+                global_size=lambda env: (min(env["N"], 32) * LOCAL, 1, 1),
+                local_size=(LOCAL, 1, 1),
+            )
+        ],
+        rtol=1e-9,
+    )
+
+
+register("gesummv")(build)

@@ -1,0 +1,199 @@
+"""K-Means cluster assignment (Rodinia).
+
+Each thread assigns one point to its nearest centroid.  The Lift version
+stages the per-centroid distances in private memory and tracks the best
+(distance, index) pair in a tuple accumulator — the private-memory usage
+Table 1 lists for this benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith import Var
+from repro.types import ArrayType, FLOAT, TupleType, array
+from repro.ir.nodes import FunCall, Lambda, Param, UserFun
+from repro.ir.dsl import (
+    compose,
+    f32,
+    get,
+    join,
+    lam,
+    lam2,
+    make_tuple,
+    map_,
+    map_glb,
+    map_seq,
+    reduce_,
+    reduce_seq,
+    to_private,
+    zip_,
+)
+from repro.benchsuite.common import (
+    Benchmark,
+    Characteristics,
+    LiftStage,
+    RefLaunch,
+    register,
+)
+
+_REFERENCE = """
+kernel void KMEANS(const global float * restrict points,
+                   const global float * restrict centroids,
+                   global float *out, int N, int K, int F) {
+  int i = get_global_id(0);
+  if (i < N) {
+    float best = 3.40282e38f;
+    float bestIdx = 0.0f;
+    for (int k = 0; k < K; k += 1) {
+      float d = 0.0f;
+      for (int f = 0; f < F; f += 1) {
+        float diff = points[i * F + f] - centroids[k * F + f];
+        d = d + diff * diff;
+      }
+      if (d < best) { best = d; bestIdx = (float) k; }
+    }
+    out[i] = bestIdx;
+  }
+}
+"""
+
+_ACC = TupleType([FLOAT, FLOAT, FLOAT])  # (best distance, best index, current)
+
+
+def _dist_acc() -> UserFun:
+    return UserFun(
+        "distAcc",
+        ["acc", "pc"],
+        "float diff = pc._0 - pc._1; return acc + diff * diff;",
+        [FLOAT, TupleType([FLOAT, FLOAT])],
+        FLOAT,
+        py=lambda acc, pc: acc + (pc[0] - pc[1]) ** 2,
+    )
+
+
+def _pick_min() -> UserFun:
+    def py(acc, d):
+        best, best_idx, cur = acc
+        if d < best:
+            best, best_idx = d, cur
+        return (best, best_idx, cur + 1.0)
+
+    return UserFun(
+        "pickMin",
+        ["acc", "d"],
+        "if (d < acc._0) { acc._0 = d; acc._1 = acc._2; }"
+        " acc._2 = acc._2 + 1.0f; return acc;",
+        [_ACC, FLOAT],
+        _ACC,
+        py=py,
+    )
+
+
+def _select_index() -> UserFun:
+    return UserFun(
+        "selectIndex", ["t"], "return t._1;", [_ACC], FLOAT, py=lambda t: t[1]
+    )
+
+
+def _program(low_level: bool, k=None, f=None):
+    # The low-level program is specialized for concrete K and F (the Lift
+    # compiler knows them at code-generation time; private arrays need
+    # compile-time sizes).  The portable high-level program keeps them
+    # symbolic.
+    n = Var("N")
+    k = k if k is not None else Var("K")
+    f = f if f is not None else Var("F")
+    points = Param(array(FLOAT, n, f), "points")
+    centroids = Param(array(FLOAT, k, f), "centroids")
+
+    dist_acc, pick, select = _dist_acc(), _pick_min(), _select_index()
+    outer_map = map_glb if low_level else map_
+    inner_map = map_seq if low_level else map_
+    reduce_builder = reduce_seq if low_level else reduce_
+
+    def per_point(p):
+        dist_of_centroid = lam(
+            lambda c: reduce_builder(
+                lam2(lambda acc, pc: FunCall(dist_acc, [acc, pc])), f32(0.0)
+            )(zip_(p, c))
+        )
+        dists_map = inner_map(dist_of_centroid)
+        if low_level:
+            dists = to_private(dists_map)(centroids)
+        else:
+            dists = dists_map(centroids)
+        flat = join()(dists)
+        init = make_tuple(f32(3.40282e38), f32(0.0), f32(0.0))
+        best = reduce_builder(pick, init)(flat)
+        return inner_map(select)(best)
+
+    body = join()(outer_map(lam(per_point))(points))
+    return Lambda([points, centroids], body)
+
+
+def build() -> Benchmark:
+    def make_inputs(size_env, rng):
+        n, k, f = size_env["N"], size_env["K"], size_env["F"]
+        return {
+            "points": rng.random((n, f)),
+            "centroids": rng.random((k, f)),
+        }
+
+    def oracle(inputs, size_env):
+        points = inputs["points"]
+        centroids = inputs["centroids"]
+        d = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        return d.argmin(axis=1).astype(float)
+
+    def ref_args(inputs, size_env, scratch):
+        return {
+            "points": inputs["points"],
+            "centroids": inputs["centroids"],
+            "out": np.zeros(size_env["N"]),
+            "N": size_env["N"],
+            "K": size_env["K"],
+            "F": size_env["F"],
+        }
+
+    return Benchmark(
+        name="kmeans",
+        source_suite="Rodinia",
+        characteristics=Characteristics(
+            local_memory=False,
+            private_memory=True,
+            vectorization=False,
+            coalescing=False,
+            iteration_space="1D",
+        ),
+        sizes={
+            "small": {"N": 256, "K": 5, "F": 4},
+            "large": {"N": 1024, "K": 5, "F": 4},
+        },
+        make_inputs=make_inputs,
+        oracle=oracle,
+        reference_source=_REFERENCE,
+        reference_launches=[
+            RefLaunch(
+                kernel="KMEANS",
+                make_args=ref_args,
+                global_size=lambda env: (env["N"], 1, 1),
+                local_size=(64, 1, 1),
+                out_arg="out",
+            )
+        ],
+        high_level=lambda env: _program(low_level=False),
+        stages=[
+            LiftStage(
+                build=lambda env: _program(
+                    low_level=True, k=env["K"], f=env["F"]
+                ),
+                param_names=["points", "centroids"],
+                global_size=lambda env: (env["N"], 1, 1),
+                local_size=(64, 1, 1),
+            )
+        ],
+    )
+
+
+register("kmeans")(build)

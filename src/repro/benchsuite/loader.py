@@ -1,0 +1,12 @@
+"""Imports every benchmark module so the registry is populated."""
+
+import repro.benchsuite.nn  # noqa: F401
+import repro.benchsuite.kmeans  # noqa: F401
+import repro.benchsuite.mriq  # noqa: F401
+import repro.benchsuite.md  # noqa: F401
+import repro.benchsuite.nbody  # noqa: F401
+import repro.benchsuite.gemv  # noqa: F401
+import repro.benchsuite.atax  # noqa: F401
+import repro.benchsuite.gesummv  # noqa: F401
+import repro.benchsuite.convolution  # noqa: F401
+import repro.benchsuite.mm  # noqa: F401

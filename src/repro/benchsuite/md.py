@@ -1,0 +1,237 @@
+"""MD — Lennard-Jones force computation with neighbour lists (SHOC).
+
+Each thread computes the force on one atom by walking its fixed-size
+neighbour list.  The indirection (``pos[neigh[i*J + k]]``) is expressed
+in the Lift IL with the ``filter`` pattern (data-dependent gather); the
+force accumulator is a ``float4`` register, as in SHOC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith import Var
+from repro.types import ArrayType, FLOAT, INT, VectorType, array
+from repro.ir.nodes import FunCall, Lambda, Param, UserFun
+from repro.ir.dsl import (
+    get,
+    join,
+    lam,
+    lam2,
+    map_,
+    map_glb,
+    map_seq,
+    reduce_,
+    reduce_seq,
+    split,
+    to_global,
+    vec_literal,
+    zip_,
+)
+from repro.ir.patterns import Filter
+from repro.benchsuite.common import (
+    Benchmark,
+    Characteristics,
+    LiftStage,
+    RefLaunch,
+    register,
+)
+
+_CUTOFF = 16.0
+
+_REFERENCE = """
+kernel void MD(const global float * restrict px,
+               const global float * restrict py,
+               const global float * restrict pz,
+               const global int * restrict neigh,
+               global float *out, int N, int J) {
+  int i = get_global_id(0);
+  if (i < N) {
+    float xi = px[i]; float yi = py[i]; float zi = pz[i];
+    float fx = 0.0f; float fy = 0.0f; float fz = 0.0f;
+    for (int k = 0; k < J; k += 1) {
+      int j = neigh[i * J + k];
+      float dx = xi - px[j];
+      float dy = yi - py[j];
+      float dz = zi - pz[j];
+      float r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 < 16.0f) {
+        float r2inv = 1.0f / r2;
+        float r6inv = r2inv * r2inv * r2inv;
+        float fc = r6inv * (r6inv - 0.5f) * r2inv;
+        fx = fx + fc * dx;
+        fy = fy + fc * dy;
+        fz = fz + fc * dz;
+      }
+    }
+    out[4 * i] = fx;
+    out[4 * i + 1] = fy;
+    out[4 * i + 2] = fz;
+    out[4 * i + 3] = 0.0f;
+  }
+}
+"""
+
+_FLOAT4 = VectorType(FLOAT, 4)
+
+
+def _lj_acc() -> UserFun:
+    from repro.ir.interp import VecValue
+
+    def py(acc, qx, qy, qz, xi, yi, zi):
+        dx, dy, dz = xi - qx, yi - qy, zi - qz
+        r2 = dx * dx + dy * dy + dz * dz
+        if r2 >= _CUTOFF:
+            return acc
+        r2inv = 1.0 / r2
+        r6inv = r2inv ** 3
+        fc = r6inv * (r6inv - 0.5) * r2inv
+        return VecValue(
+            [acc.items[0] + fc * dx, acc.items[1] + fc * dy,
+             acc.items[2] + fc * dz, acc.items[3]]
+        )
+
+    return UserFun(
+        "ljAcc",
+        ["acc", "qx", "qy", "qz", "xi", "yi", "zi"],
+        "float dx = xi - qx; float dy = yi - qy; float dz = zi - qz;"
+        " float r2 = dx * dx + dy * dy + dz * dz;"
+        " if (r2 < 16.0f) {"
+        " float r2inv = 1.0f / r2;"
+        " float r6inv = r2inv * r2inv * r2inv;"
+        " float fc = r6inv * (r6inv - 0.5f) * r2inv;"
+        " acc = acc + (float4)(fc * dx, fc * dy, fc * dz, 0.0f); }"
+        " return acc;",
+        [_FLOAT4, FLOAT, FLOAT, FLOAT, FLOAT, FLOAT, FLOAT],
+        _FLOAT4,
+        py=py,
+    )
+
+
+def _id_float4() -> UserFun:
+    return UserFun("idF4", ["v"], "return v;", [_FLOAT4], _FLOAT4, py=lambda v: v)
+
+
+def _program(low_level: bool):
+    n, j = Var("N"), Var("J")
+    px = Param(ArrayType(FLOAT, n), "px")
+    py_ = Param(ArrayType(FLOAT, n), "py")
+    pz = Param(ArrayType(FLOAT, n), "pz")
+    neigh = Param(array(INT, n * j), "neigh")
+
+    lj = _lj_acc()
+    outer_map = map_glb if low_level else map_
+    copy_map = map_seq if low_level else map_
+    reduce_builder = reduce_seq if low_level else reduce_
+
+    def per_atom(pn):
+        atom = get(pn, 0)
+        nbr_ids = get(pn, 1)
+        neighbours = zip_(
+            FunCall(Filter(), [px, nbr_ids]),
+            FunCall(Filter(), [py_, nbr_ids]),
+            FunCall(Filter(), [pz, nbr_ids]),
+        )
+        step = lam2(
+            lambda acc, q: FunCall(
+                lj,
+                [acc, get(q, 0), get(q, 1), get(q, 2),
+                 get(atom, 0), get(atom, 1), get(atom, 2)],
+            )
+        )
+        force = reduce_builder(step, vec_literal(0.0, 4))(neighbours)
+        copy = copy_map(_id_float4())
+        if low_level:
+            return to_global(copy)(force)
+        return copy(force)
+
+    zipped = zip_(zip_(px, py_, pz), split(j)(neigh))
+    body = join()(outer_map(lam(per_atom))(zipped))
+    return Lambda([px, py_, pz, neigh], body)
+
+
+def build() -> Benchmark:
+    def make_inputs(size_env, rng):
+        n, j = size_env["N"], size_env["J"]
+        neigh = np.empty((n, j), dtype=np.int64)
+        for i in range(n):
+            # J distinct neighbours, never the atom itself.
+            choices = rng.permutation(n - 1)[:j]
+            neigh[i] = np.where(choices >= i, choices + 1, choices)
+        return {
+            "px": rng.random(n) * 4.0,
+            "py": rng.random(n) * 4.0,
+            "pz": rng.random(n) * 4.0,
+            "neigh": neigh,
+        }
+
+    def oracle(inputs, size_env):
+        n, j = size_env["N"], size_env["J"]
+        px, py_, pz = inputs["px"], inputs["py"], inputs["pz"]
+        neigh = inputs["neigh"].reshape(n, j)
+        out = np.zeros((n, 4))
+        for i in range(n):
+            dx = px[i] - px[neigh[i]]
+            dy = py_[i] - py_[neigh[i]]
+            dz = pz[i] - pz[neigh[i]]
+            r2 = dx * dx + dy * dy + dz * dz
+            mask = r2 < _CUTOFF
+            r2inv = np.where(mask, 1.0 / r2, 0.0)
+            r6inv = r2inv ** 3
+            fc = r6inv * (r6inv - 0.5) * r2inv
+            out[i, 0] = (fc * dx)[mask].sum()
+            out[i, 1] = (fc * dy)[mask].sum()
+            out[i, 2] = (fc * dz)[mask].sum()
+        return out.ravel()
+
+    def ref_args(inputs, size_env, scratch):
+        return {
+            "px": inputs["px"],
+            "py": inputs["py"],
+            "pz": inputs["pz"],
+            "neigh": inputs["neigh"],
+            "out": np.zeros(4 * size_env["N"]),
+            "N": size_env["N"],
+            "J": size_env["J"],
+        }
+
+    return Benchmark(
+        name="md",
+        source_suite="SHOC",
+        characteristics=Characteristics(
+            local_memory=False,
+            private_memory=True,
+            vectorization=False,
+            coalescing=True,
+            iteration_space="1D",
+        ),
+        sizes={
+            "small": {"N": 128, "J": 16},
+            "large": {"N": 512, "J": 32},
+        },
+        make_inputs=make_inputs,
+        oracle=oracle,
+        reference_source=_REFERENCE,
+        reference_launches=[
+            RefLaunch(
+                kernel="MD",
+                make_args=ref_args,
+                global_size=lambda env: (env["N"], 1, 1),
+                local_size=(64, 1, 1),
+                out_arg="out",
+            )
+        ],
+        high_level=lambda env: _program(low_level=False),
+        stages=[
+            LiftStage(
+                build=lambda env: _program(low_level=True),
+                param_names=["px", "py", "pz", "neigh"],
+                global_size=lambda env: (env["N"], 1, 1),
+                local_size=(64, 1, 1),
+            )
+        ],
+        rtol=1e-7,
+    )
+
+
+register("md")(build)

@@ -1,0 +1,204 @@
+"""MRI-Q (Parboil): non-Cartesian MRI reconstruction, Q computation.
+
+For every voxel the kernel accumulates a complex contribution from every
+k-space sample.  Both the reference and the Lift version keep the
+(real, imaginary) accumulator in a ``float2`` register and write the
+interleaved result — the private-memory usage of Table 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith import Var
+from repro.types import ArrayType, FLOAT, VectorType
+from repro.ir.nodes import FunCall, Lambda, Param, UserFun
+from repro.ir.dsl import (
+    compose,
+    get,
+    id_fun,
+    join,
+    lam,
+    lam2,
+    map_,
+    map_glb,
+    map_seq,
+    reduce_,
+    reduce_seq,
+    to_global,
+    vec_literal,
+    zip_,
+)
+from repro.benchsuite.common import (
+    Benchmark,
+    Characteristics,
+    LiftStage,
+    RefLaunch,
+    register,
+)
+
+# The same single-precision literal everywhere (reference kernel, Lift
+# user function, oracle) so differential comparisons stay exact.
+_TWO_PI = 6.2831853
+
+_REFERENCE = """
+kernel void MRIQ(const global float * restrict x,
+                 const global float * restrict y,
+                 const global float * restrict z,
+                 const global float * restrict kx,
+                 const global float * restrict ky,
+                 const global float * restrict kz,
+                 const global float * restrict mag,
+                 global float *out, int N, int M) {
+  int i = get_global_id(0);
+  if (i < N) {
+    float px = x[i]; float py = y[i]; float pz = z[i];
+    float re = 0.0f; float im = 0.0f;
+    for (int m = 0; m < M; m += 1) {
+      float ang = 6.2831853f * (kx[m] * px + ky[m] * py + kz[m] * pz);
+      re = re + mag[m] * cos(ang);
+      im = im + mag[m] * sin(ang);
+    }
+    out[2 * i] = re;
+    out[2 * i + 1] = im;
+  }
+}
+"""
+
+_FLOAT2 = VectorType(FLOAT, 2)
+
+
+def _phase_acc() -> UserFun:
+    from repro.ir.interp import VecValue
+
+    def py(acc, kx, ky, kz, m, px, py_, pz):
+        ang = _TWO_PI * (kx * px + ky * py_ + kz * pz)
+        return VecValue(
+            [acc.items[0] + m * np.cos(ang), acc.items[1] + m * np.sin(ang)]
+        )
+
+    return UserFun(
+        "phaseAcc",
+        ["acc", "kx", "ky", "kz", "m", "px", "py", "pz"],
+        "float ang = 6.2831853f * (kx * px + ky * py + kz * pz);"
+        " return acc + (float2)(m * cos(ang), m * sin(ang));",
+        [_FLOAT2, FLOAT, FLOAT, FLOAT, FLOAT, FLOAT, FLOAT, FLOAT],
+        _FLOAT2,
+        py=py,
+    )
+
+
+def _id_float2() -> UserFun:
+    return UserFun("idF2", ["v"], "return v;", [_FLOAT2], _FLOAT2, py=lambda v: v)
+
+
+def _program(low_level: bool):
+    n, m = Var("N"), Var("M")
+    x = Param(ArrayType(FLOAT, n), "x")
+    y = Param(ArrayType(FLOAT, n), "y")
+    z = Param(ArrayType(FLOAT, n), "z")
+    kx = Param(ArrayType(FLOAT, m), "kx")
+    ky = Param(ArrayType(FLOAT, m), "ky")
+    kz = Param(ArrayType(FLOAT, m), "kz")
+    mag = Param(ArrayType(FLOAT, m), "mag")
+
+    acc_fun = _phase_acc()
+    outer_map = map_glb if low_level else map_
+    copy_map = map_seq if low_level else map_
+    reduce_builder = reduce_seq if low_level else reduce_
+
+    def per_voxel(v):
+        samples = zip_(kx, ky, kz, mag)
+        step = lam2(
+            lambda acc, s: FunCall(
+                acc_fun,
+                [
+                    acc,
+                    get(s, 0), get(s, 1), get(s, 2), get(s, 3),
+                    get(v, 0), get(v, 1), get(v, 2),
+                ],
+            )
+        )
+        q = reduce_builder(step, vec_literal(0.0, 2))(samples)
+        copy = copy_map(_id_float2())
+        if low_level:
+            return to_global(copy)(q)
+        return copy(q)
+
+    body = join()(outer_map(lam(per_voxel))(zip_(x, y, z)))
+    return Lambda([x, y, z, kx, ky, kz, mag], body)
+
+
+def build() -> Benchmark:
+    def make_inputs(size_env, rng):
+        n, m = size_env["N"], size_env["M"]
+        return {
+            "x": rng.random(n),
+            "y": rng.random(n),
+            "z": rng.random(n),
+            "kx": rng.random(m),
+            "ky": rng.random(m),
+            "kz": rng.random(m),
+            "mag": rng.random(m),
+        }
+
+    def oracle(inputs, size_env):
+        x, y, z = inputs["x"], inputs["y"], inputs["z"]
+        kx, ky, kz, mag = inputs["kx"], inputs["ky"], inputs["kz"], inputs["mag"]
+        ang = _TWO_PI * (
+            np.outer(x, kx) + np.outer(y, ky) + np.outer(z, kz)
+        )
+        re = (mag[None, :] * np.cos(ang)).sum(axis=1)
+        im = (mag[None, :] * np.sin(ang)).sum(axis=1)
+        out = np.empty(2 * len(x))
+        out[0::2] = re
+        out[1::2] = im
+        return out
+
+    def ref_args(inputs, size_env, scratch):
+        args = dict(inputs)
+        args["out"] = np.zeros(2 * size_env["N"])
+        args["N"] = size_env["N"]
+        args["M"] = size_env["M"]
+        return args
+
+    return Benchmark(
+        name="mriq",
+        source_suite="Parboil",
+        characteristics=Characteristics(
+            local_memory=False,
+            private_memory=True,
+            vectorization=False,
+            coalescing=True,
+            iteration_space="1D",
+        ),
+        sizes={
+            "small": {"N": 128, "M": 64},
+            "large": {"N": 512, "M": 128},
+        },
+        make_inputs=make_inputs,
+        oracle=oracle,
+        reference_source=_REFERENCE,
+        reference_launches=[
+            RefLaunch(
+                kernel="MRIQ",
+                make_args=ref_args,
+                global_size=lambda env: (env["N"], 1, 1),
+                local_size=(64, 1, 1),
+                out_arg="out",
+            )
+        ],
+        high_level=lambda env: _program(low_level=False),
+        stages=[
+            LiftStage(
+                build=lambda env: _program(low_level=True),
+                param_names=["x", "y", "z", "kx", "ky", "kz", "mag"],
+                global_size=lambda env: (env["N"], 1, 1),
+                local_size=(64, 1, 1),
+            )
+        ],
+        rtol=1e-6,
+    )
+
+
+register("mriq")(build)

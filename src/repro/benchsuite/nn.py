@@ -1,0 +1,126 @@
+"""NN — nearest neighbour (Rodinia).
+
+Each thread computes the Euclidean distance from one location to a fixed
+target; Rodinia then selects the minimum on the host.  The simplest
+benchmark of the suite: one user function under a ``mapGlb``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith import Var
+from repro.types import ArrayType, FLOAT
+from repro.ir.nodes import FunCall, Lambda, Param, UserFun
+from repro.ir.dsl import get, lam, map_, map_glb, zip_
+from repro.benchsuite.common import (
+    Benchmark,
+    Characteristics,
+    LiftStage,
+    RefLaunch,
+    register,
+)
+
+_REFERENCE = """
+kernel void NN(const global float * restrict lats,
+               const global float * restrict lngs,
+               global float *out, int N, float lat, float lng) {
+  int i = get_global_id(0);
+  if (i < N) {
+    float dx = lats[i] - lat;
+    float dy = lngs[i] - lng;
+    out[i] = sqrt(dx * dx + dy * dy);
+  }
+}
+"""
+
+
+def _dist_fun() -> UserFun:
+    return UserFun(
+        "nnDist",
+        ["plat", "plng", "lat", "lng"],
+        "float dx = plat - lat; float dy = plng - lng;"
+        " return sqrt(dx * dx + dy * dy);",
+        [FLOAT, FLOAT, FLOAT, FLOAT],
+        FLOAT,
+        py=lambda plat, plng, lat, lng: float(
+            np.sqrt((plat - lat) ** 2 + (plng - lng) ** 2)
+        ),
+    )
+
+
+def _program(map_builder):
+    n = Var("N")
+    lats = Param(ArrayType(FLOAT, n), "lats")
+    lngs = Param(ArrayType(FLOAT, n), "lngs")
+    lat = Param(FLOAT, "lat")
+    lng = Param(FLOAT, "lng")
+    dist = _dist_fun()
+    body = map_builder(
+        lam(lambda p: FunCall(dist, [get(p, 0), get(p, 1), lat, lng]))
+    )(zip_(lats, lngs))
+    return Lambda([lats, lngs, lat, lng], body)
+
+
+def build() -> Benchmark:
+    def make_inputs(size_env, rng):
+        n = size_env["N"]
+        return {
+            "lats": rng.random(n) * 180 - 90,
+            "lngs": rng.random(n) * 360 - 180,
+            "lat": 30.0,
+            "lng": 50.0,
+        }
+
+    def oracle(inputs, size_env):
+        return np.sqrt(
+            (inputs["lats"] - inputs["lat"]) ** 2
+            + (inputs["lngs"] - inputs["lng"]) ** 2
+        )
+
+    def ref_args(inputs, size_env, scratch):
+        return {
+            "lats": inputs["lats"],
+            "lngs": inputs["lngs"],
+            "out": np.zeros(size_env["N"]),
+            "N": size_env["N"],
+            "lat": inputs["lat"],
+            "lng": inputs["lng"],
+        }
+
+    return Benchmark(
+        name="nn",
+        source_suite="Rodinia",
+        characteristics=Characteristics(
+            local_memory=False,
+            private_memory=False,
+            vectorization=False,
+            coalescing=True,
+            iteration_space="1D",
+        ),
+        sizes={"small": {"N": 2048}, "large": {"N": 8192}},
+        make_inputs=make_inputs,
+        oracle=oracle,
+        reference_source=_REFERENCE,
+        reference_launches=[
+            RefLaunch(
+                kernel="NN",
+                make_args=ref_args,
+                global_size=lambda env: (env["N"], 1, 1),
+                local_size=(64, 1, 1),
+                out_arg="out",
+            )
+        ],
+        high_level=lambda env: _program(map_),
+        stages=[
+            LiftStage(
+                build=lambda env: _program(map_glb),
+                param_names=["lats", "lngs", "lat", "lng"],
+                global_size=lambda env: (env["N"], 1, 1),
+                local_size=(64, 1, 1),
+            )
+        ],
+    )
+
+
+register("nn")(build)

@@ -1,0 +1,81 @@
+"""Table 1 reproduction: benchmark overview, characteristics, code size.
+
+Counts lines of code for the hand-written OpenCL reference, the portable
+high-level Lift IL and the OpenCL-specific low-level Lift IL, alongside
+the optimization characteristics of each reference implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.benchsuite.common import ALL_BENCHMARKS, get_benchmark
+
+
+@dataclass
+class Table1Row:
+    benchmark: str
+    source_suite: str
+    input_small: str
+    input_large: str
+    local_memory: bool
+    private_memory: bool
+    vectorization: bool
+    coalescing: bool
+    iteration_space: str
+    loc_opencl: int
+    loc_high_level: int
+    loc_low_level: int
+
+
+def run_table1(benchmarks: Optional[Iterable[str]] = None) -> list:
+    names = list(benchmarks) if benchmarks is not None else list(ALL_BENCHMARKS)
+    rows = []
+    for name in names:
+        bench = get_benchmark(name)
+        sizes = bench.code_sizes()
+        ch = bench.characteristics
+
+        def fmt(size_env):
+            return "x".join(str(v) for v in size_env.values())
+
+        rows.append(
+            Table1Row(
+                benchmark=bench.name,
+                source_suite=bench.source_suite,
+                input_small=fmt(bench.sizes["small"]),
+                input_large=fmt(bench.sizes["large"]),
+                local_memory=ch.local_memory,
+                private_memory=ch.private_memory,
+                vectorization=ch.vectorization,
+                coalescing=ch.coalescing,
+                iteration_space=ch.iteration_space,
+                loc_opencl=sizes["opencl"],
+                loc_high_level=sizes["high_level"],
+                loc_low_level=sizes["low_level"],
+            )
+        )
+    return rows
+
+
+def format_table1(rows: Iterable[Table1Row]) -> str:
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "-"
+
+    lines = [
+        "Table 1: Overview, Characteristics, and Code size of the benchmarks",
+        "",
+        f"{'benchmark':<14} {'suite':<18} {'small':<12} {'large':<12} "
+        f"{'lmem':<5} {'pmem':<5} {'vec':<4} {'coal':<5} {'space':<6} "
+        f"{'OpenCL':>7} {'highIL':>7} {'lowIL':>6}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.benchmark:<14} {r.source_suite:<18} {r.input_small:<12} "
+            f"{r.input_large:<12} {mark(r.local_memory):<5} "
+            f"{mark(r.private_memory):<5} {mark(r.vectorization):<4} "
+            f"{mark(r.coalescing):<5} {r.iteration_space:<6} "
+            f"{r.loc_opencl:>7} {r.loc_high_level:>7} {r.loc_low_level:>6}"
+        )
+    return "\n".join(lines)

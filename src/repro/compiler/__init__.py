@@ -1,0 +1,34 @@
+"""The Lift-to-OpenCL compiler (paper section 5).
+
+Pipeline stages, in order (Figure 4):
+
+1. type analysis — :mod:`repro.ir.typecheck`;
+2. address-space inference — :mod:`repro.compiler.address_space`
+   (Algorithm 1);
+3. memory allocation — :mod:`repro.compiler.memory`;
+4. array accesses via views — :mod:`repro.compiler.views` (Figure 5);
+5. barrier elimination — :mod:`repro.compiler.barriers`;
+6. OpenCL code generation with control-flow simplification —
+   :mod:`repro.compiler.codegen` (Figure 7).
+"""
+
+from repro.compiler.codegen import (
+    CodeGenError,
+    CompiledKernel,
+    KernelGenerator,
+    compile_kernel,
+)
+from repro.compiler.kernel import RunResult, compile_and_run, execute_kernel
+from repro.compiler.options import OPTIMIZATION_LEVELS, CompilerOptions
+
+__all__ = [
+    "CodeGenError",
+    "CompiledKernel",
+    "CompilerOptions",
+    "KernelGenerator",
+    "OPTIMIZATION_LEVELS",
+    "RunResult",
+    "compile_and_run",
+    "compile_kernel",
+    "execute_kernel",
+]

@@ -1,0 +1,61 @@
+"""Compiler options: the optimization knobs evaluated in Figure 8.
+
+The paper's ablation compares three configurations:
+
+* ``NONE``            — no barrier elimination, no control-flow
+                        simplification, no array-access simplification;
+* ``BARRIER_CF``      — barrier elimination + control-flow simplification;
+* ``ALL``             — everything, including array-access simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Configuration of the Lift-to-OpenCL code generator.
+
+    ``local_size`` must be concrete (the compiler exploits it for
+    control-flow simplification exactly as section 5.5 describes);
+    ``global_size`` entries may be ``None``, in which case the generated
+    code loops with a ``get_global_size``/``get_num_groups`` stride the way
+    Figure 7 line 7 does.
+    """
+
+    local_size: Tuple[int, int, int] = (64, 1, 1)
+    global_size: Tuple[Optional[int], Optional[int], Optional[int]] = (None, None, None)
+    barrier_elimination: bool = True
+    control_flow_simplification: bool = True
+    array_access_simplification: bool = True
+    kernel_name: str = "KERNEL"
+
+    @staticmethod
+    def none(**kw) -> "CompilerOptions":
+        return CompilerOptions(
+            barrier_elimination=False,
+            control_flow_simplification=False,
+            array_access_simplification=False,
+            **kw,
+        )
+
+    @staticmethod
+    def barrier_cf(**kw) -> "CompilerOptions":
+        return CompilerOptions(array_access_simplification=False, **kw)
+
+    @staticmethod
+    def all(**kw) -> "CompilerOptions":
+        return CompilerOptions(**kw)
+
+    def with_(self, **kw) -> "CompilerOptions":
+        return replace(self, **kw)
+
+
+#: The three optimization levels of Figure 8, in plotting order.
+OPTIMIZATION_LEVELS = {
+    "none": CompilerOptions.none,
+    "barrier_cf": CompilerOptions.barrier_cf,
+    "all": CompilerOptions.all,
+}

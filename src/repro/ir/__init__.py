@@ -1,0 +1,28 @@
+"""The Lift intermediate representation (paper sections 3 and 4)."""
+
+from repro.ir.nodes import (
+    AddressSpace,
+    Expr,
+    FunCall,
+    FunDecl,
+    Lambda,
+    Literal,
+    Param,
+    Pattern,
+    UserFun,
+)
+from repro.ir.typecheck import infer_fun_type, infer_types
+
+__all__ = [
+    "AddressSpace",
+    "Expr",
+    "FunCall",
+    "FunDecl",
+    "Lambda",
+    "Literal",
+    "Param",
+    "Pattern",
+    "UserFun",
+    "infer_fun_type",
+    "infer_types",
+]

@@ -1,0 +1,205 @@
+"""Reference interpreter for the Lift IL.
+
+Executes a Lift IR graph directly on Python values, giving the patterns
+their paper semantics (section 3.2).  It is deliberately simple and slow;
+its purpose is *differential testing*: for every benchmark, the NumPy
+oracle, this interpreter, and the generated OpenCL kernel executed on the
+simulator must all agree.
+
+Values are represented as:
+
+* scalars — Python ``float``/``int``;
+* tuples — Python ``tuple``;
+* arrays — Python ``list`` (nested for multi-dimensional arrays);
+* vectors — :class:`VecValue` (distinct from arrays on purpose).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.arith import simplify
+from repro.ir.nodes import Expr, FunCall, FunDecl, Lambda, Literal, Param, UserFun
+from repro.ir import patterns as pat
+
+
+class VecValue:
+    """An OpenCL vector value of fixed width."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items):
+        self.items = tuple(items)
+
+    @property
+    def width(self) -> int:
+        return len(self.items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VecValue) and other.items == self.items
+
+    def __repr__(self) -> str:
+        return f"VecValue{self.items}"
+
+
+class Evaluator:
+    """Evaluates IR expressions given parameter bindings.
+
+    ``size_env`` supplies integer values for free size variables (``N``,
+    tile sizes...) appearing in pattern parameters such as ``split`` or
+    ``iterate`` counts.
+    """
+
+    def __init__(self, size_env: Mapping[str, int] | None = None):
+        self.size_env = dict(size_env or {})
+
+    # -- helpers ---------------------------------------------------------
+    def _int(self, e) -> int:
+        value = simplify(e).evaluate(self.size_env)
+        return int(value)
+
+    # -- expression evaluation -------------------------------------------
+    def eval_expr(self, expr: Expr, env: Mapping[Param, Any]) -> Any:
+        if isinstance(expr, Literal):
+            from repro.types import VectorType
+
+            if isinstance(expr.type, VectorType):
+                # Vector literals broadcast, as in OpenCL: (float4)(0.0f).
+                return VecValue([expr.value] * expr.type.width)
+            return expr.value
+        if isinstance(expr, Param):
+            try:
+                return env[expr]
+            except KeyError:
+                raise KeyError(f"unbound parameter {expr.name}") from None
+        if isinstance(expr, FunCall):
+            args = [self.eval_expr(a, env) for a in expr.args]
+            return self.apply(expr.f, args, env)
+        raise TypeError(f"cannot evaluate {expr!r}")
+
+    # -- function application ---------------------------------------------
+    def apply(self, f: FunDecl, args: list, env: Mapping[Param, Any]) -> Any:
+        if isinstance(f, Lambda):
+            inner = dict(env)
+            for p, a in zip(f.params, args):
+                inner[p] = a
+            return self.eval_expr(f.body, inner)
+
+        if isinstance(f, UserFun):
+            if f.py is None:
+                raise NotImplementedError(
+                    f"user function {f.name} has no Python semantics"
+                )
+            return f.py(*args)
+
+        if isinstance(f, pat.AbstractMap):
+            (xs,) = args
+            return [self.apply(f.f, [x], env) for x in xs]
+
+        if isinstance(f, pat.ReduceSeq):  # covers Reduce as well
+            init, xs = args
+            acc = init
+            for x in xs:
+                acc = self.apply(f.f, [acc, x], env)
+            return [acc]
+
+        if isinstance(f, pat.Iterate):
+            (xs,) = args
+            result = xs
+            for _ in range(self._int(f.n)):
+                result = self.apply(f.f, [result], env)
+            return result
+
+        if isinstance(f, pat.Split):
+            (xs,) = args
+            k = self._int(f.n)
+            if len(xs) % k:
+                raise ValueError(f"split({k}) of array of length {len(xs)}")
+            return [xs[i : i + k] for i in range(0, len(xs), k)]
+
+        if isinstance(f, pat.Join):
+            (xs,) = args
+            return [x for chunk in xs for x in chunk]
+
+        if isinstance(f, pat.Gather):
+            (xs,) = args
+            n = len(xs)
+            return [xs[f.idx_fun.eval(i, n)] for i in range(n)]
+
+        if isinstance(f, pat.Scatter):
+            (xs,) = args
+            n = len(xs)
+            out = [None] * n
+            for i, x in enumerate(xs):
+                out[f.idx_fun.eval(i, n)] = x
+            return out
+
+        if isinstance(f, pat.Transpose):
+            (xs,) = args
+            return [list(col) for col in zip(*xs)]
+
+        if isinstance(f, pat.Zip):
+            length = len(args[0])
+            for a in args[1:]:
+                if len(a) != length:
+                    raise ValueError("zip of arrays with different lengths")
+            return [tuple(items) for items in zip(*args)]
+
+        if isinstance(f, pat.Get):
+            (t,) = args
+            return t[f.index]
+
+        if isinstance(f, pat.MakeTuple):
+            return tuple(args)
+
+        if isinstance(f, pat.Head):
+            (xs,) = args
+            return xs[0]
+
+        if isinstance(f, pat.Filter):
+            data, idx = args
+            return [data[int(j)] for j in idx]
+
+        if isinstance(f, pat.Slide):
+            (xs,) = args
+            size, step = self._int(f.size), self._int(f.step)
+            count = (len(xs) - size) // step + 1
+            return [xs[i * step : i * step + size] for i in range(count)]
+
+        if isinstance(f, pat.Pad):
+            (xs,) = args
+            return [xs[0]] * f.left + list(xs) + [xs[-1]] * f.right
+
+        if isinstance(f, pat.AddressSpaceWrapper):
+            return self.apply(f.f, args, env)
+
+        if isinstance(f, pat.AsVector):
+            (xs,) = args
+            w = f.width
+            if len(xs) % w:
+                raise ValueError(f"asVector({w}) of array of length {len(xs)}")
+            return [VecValue(xs[i : i + w]) for i in range(0, len(xs), w)]
+
+        if isinstance(f, pat.AsScalar):
+            (xs,) = args
+            return [lane for v in xs for lane in v.items]
+
+        raise NotImplementedError(f"no interpreter semantics for {f!r}")
+
+
+def evaluate(
+    expr: Expr,
+    bindings: Mapping[Param, Any],
+    size_env: Mapping[str, int] | None = None,
+) -> Any:
+    """Evaluate an IR expression with the given parameter bindings."""
+    return Evaluator(size_env).eval_expr(expr, dict(bindings))
+
+
+def apply_fun(
+    f: FunDecl,
+    args: list,
+    size_env: Mapping[str, int] | None = None,
+) -> Any:
+    """Apply a function declaration to Python values."""
+    return Evaluator(size_env).apply(f, list(args), {})

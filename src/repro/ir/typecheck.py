@@ -1,0 +1,68 @@
+"""Type analysis for Lift IR graphs (paper section 5.1).
+
+Types of function bodies are inferred from parameter types by traversing
+the graph following the data flow.  Every expression node is annotated in
+place with its type; the same pass is re-run by the compiler after
+rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.types import DataType
+from repro.ir.nodes import Expr, FunCall, FunDecl, Lambda, Literal, Param, UserFun
+from repro.ir.patterns import LiftTypeError, Pattern
+
+
+def infer_types(expr: Expr) -> DataType:
+    """Infer and annotate the type of ``expr`` and everything below it.
+
+    Parameters reachable from ``expr`` must already carry types (they are
+    the roots of the data flow).
+    """
+    if expr.type is not None and not isinstance(expr, FunCall):
+        return expr.type
+    if isinstance(expr, Literal):
+        assert expr.type is not None
+        return expr.type
+    if isinstance(expr, Param):
+        if expr.type is None:
+            raise LiftTypeError(f"parameter {expr.name} has no type")
+        return expr.type
+    if isinstance(expr, FunCall):
+        arg_types = [infer_types(a) for a in expr.args]
+        result = infer_fun_type(expr.f, arg_types, expr)
+        expr.type = result
+        return result
+    raise LiftTypeError(f"cannot type {expr!r}")
+
+
+def infer_fun_type(
+    f: FunDecl, arg_types: Sequence[DataType], call: FunCall | None = None
+) -> DataType:
+    """Infer the result type of applying ``f`` to ``arg_types``."""
+    if isinstance(f, Lambda):
+        if len(f.params) != len(arg_types):
+            raise LiftTypeError(
+                f"lambda of {len(f.params)} parameter(s) applied to "
+                f"{len(arg_types)} argument(s)"
+            )
+        for p, t in zip(f.params, arg_types):
+            p.type = t
+        return infer_types(f.body)
+    if isinstance(f, UserFun):
+        if len(arg_types) != len(f.in_types):
+            raise LiftTypeError(
+                f"user function {f.name} arity mismatch: "
+                f"{len(arg_types)} vs {len(f.in_types)}"
+            )
+        for got, want in zip(arg_types, f.in_types):
+            if got != want:
+                raise LiftTypeError(
+                    f"user function {f.name} expects {want}, got {got}"
+                )
+        return f.out_type
+    if isinstance(f, Pattern):
+        return f.infer_type(arg_types, call)  # type: ignore[arg-type]
+    raise LiftTypeError(f"cannot infer type of call to {f!r}")

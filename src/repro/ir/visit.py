@@ -1,0 +1,169 @@
+"""Traversal and rebuilding utilities for IR graphs.
+
+The rewrite system and several compiler passes need to walk expression
+graphs, collect nodes, and build modified copies.  Because expressions
+carry mutable annotations, rewriting always *clones* — a rewritten program
+shares no ``Expr`` nodes with its source, so annotations never leak
+between versions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.ir.nodes import Expr, FunCall, FunDecl, Lambda, Literal, Param, UserFun
+from repro.ir import patterns as pat
+
+
+def post_order(expr: Expr) -> Iterator[Expr]:
+    """Yield every expression below (and including) ``expr``, arguments
+    first.  Lambda bodies of called functions are visited too."""
+    if isinstance(expr, FunCall):
+        for a in expr.args:
+            yield from post_order(a)
+        for inner in _decl_bodies(expr.f):
+            yield from post_order(inner)
+    yield expr
+
+
+def _decl_bodies(f: FunDecl) -> Iterator[Expr]:
+    if isinstance(f, Lambda):
+        yield f.body
+    elif isinstance(f, pat.AddressSpaceWrapper):
+        yield from _decl_bodies(f.f)
+    elif isinstance(f, (pat.AbstractMap, pat.ReduceSeq, pat.Iterate)):
+        yield from _decl_bodies(f.f)
+
+
+def count_nodes(expr: Expr) -> int:
+    return sum(1 for _ in post_order(expr))
+
+
+def clone_expr(expr: Expr, mapping: dict[Param, Expr] | None = None) -> Expr:
+    """Deep-copy an expression graph, replacing parameters per ``mapping``.
+
+    Fresh ``Param`` objects are created for parameters of nested lambdas so
+    the clone shares no mutable node with the original.
+    """
+    mapping = dict(mapping or {})
+
+    def go_expr(e: Expr) -> Expr:
+        if isinstance(e, Literal):
+            return Literal(e.value, e.type)  # type: ignore[arg-type]
+        if isinstance(e, Param):
+            replacement = mapping.get(e)
+            if replacement is not None:
+                return replacement
+            # Free parameter (program input): keep identity.
+            return e
+        if isinstance(e, FunCall):
+            return FunCall(go_decl(e.f), [go_expr(a) for a in e.args])
+        raise TypeError(f"cannot clone {e!r}")
+
+    def go_decl(f: FunDecl) -> FunDecl:
+        if isinstance(f, Lambda):
+            fresh = [Param(p.type, p.name) for p in f.params]
+            for old, new in zip(f.params, fresh):
+                mapping[old] = new
+            body = go_expr(f.body)
+            for old in f.params:
+                del mapping[old]
+            return Lambda(fresh, body)
+        if isinstance(f, UserFun):
+            return f  # immutable, safe to share
+        if isinstance(f, pat.Map):
+            return pat.Map(go_decl(f.f))
+        if isinstance(f, pat.MapSeqUnroll):
+            return pat.MapSeqUnroll(go_decl(f.f))
+        if isinstance(f, pat.MapSeq):
+            return pat.MapSeq(go_decl(f.f))
+        if isinstance(f, pat.MapGlb):
+            return pat.MapGlb(go_decl(f.f), f.dim)
+        if isinstance(f, pat.MapWrg):
+            return pat.MapWrg(go_decl(f.f), f.dim)
+        if isinstance(f, pat.MapLcl):
+            return pat.MapLcl(go_decl(f.f), f.dim)
+        if isinstance(f, pat.Reduce):
+            return pat.Reduce(go_decl(f.f))
+        if isinstance(f, pat.ReduceSeqUnroll):
+            return pat.ReduceSeqUnroll(go_decl(f.f))
+        if isinstance(f, pat.ReduceSeq):
+            return pat.ReduceSeq(go_decl(f.f))
+        if isinstance(f, pat.Iterate):
+            return pat.Iterate(f.n, go_decl(f.f))
+        if isinstance(f, pat.ToGlobal):
+            return pat.ToGlobal(go_decl(f.f))
+        if isinstance(f, pat.ToLocal):
+            return pat.ToLocal(go_decl(f.f))
+        if isinstance(f, pat.ToPrivate):
+            return pat.ToPrivate(go_decl(f.f))
+        # Leaf patterns carry no function and no mutable state.
+        return f
+
+    return go_expr(expr)
+
+
+def clone_decl(f: FunDecl) -> FunDecl:
+    """Deep-copy a function declaration (see :func:`clone_expr`)."""
+    if isinstance(f, Lambda):
+        fresh = [Param(p.type, p.name) for p in f.params]
+        body = clone_expr(f.body, dict(zip(f.params, fresh)))
+        return Lambda(fresh, body)
+    dummy = Param()
+    cloned_call = clone_expr(FunCall(f, [dummy] * f.arity))
+    assert isinstance(cloned_call, FunCall)
+    return cloned_call.f
+
+
+def transform_calls(
+    expr: Expr, fn: Callable[[FunCall], Expr | None]
+) -> Expr:
+    """Bottom-up rebuild: ``fn`` may replace any ``FunCall`` node.
+
+    ``fn`` receives a freshly cloned call whose arguments have already been
+    transformed; returning ``None`` keeps the call unchanged.
+    """
+
+    def go_expr(e: Expr) -> Expr:
+        if isinstance(e, Literal):
+            return Literal(e.value, e.type)  # type: ignore[arg-type]
+        if isinstance(e, Param):
+            return e
+        if isinstance(e, FunCall):
+            rebuilt = FunCall(_go_decl(e.f), [go_expr(a) for a in e.args])
+            replaced = fn(rebuilt)
+            return rebuilt if replaced is None else replaced
+        raise TypeError(f"cannot transform {e!r}")
+
+    def _go_decl(f: FunDecl) -> FunDecl:
+        if isinstance(f, Lambda):
+            return Lambda(list(f.params), go_expr(f.body))
+        if isinstance(f, pat.Map):
+            return pat.Map(_go_decl(f.f))
+        if isinstance(f, pat.MapSeqUnroll):
+            return pat.MapSeqUnroll(_go_decl(f.f))
+        if isinstance(f, pat.MapSeq):
+            return pat.MapSeq(_go_decl(f.f))
+        if isinstance(f, pat.MapGlb):
+            return pat.MapGlb(_go_decl(f.f), f.dim)
+        if isinstance(f, pat.MapWrg):
+            return pat.MapWrg(_go_decl(f.f), f.dim)
+        if isinstance(f, pat.MapLcl):
+            return pat.MapLcl(_go_decl(f.f), f.dim)
+        if isinstance(f, pat.Reduce):
+            return pat.Reduce(_go_decl(f.f))
+        if isinstance(f, pat.ReduceSeqUnroll):
+            return pat.ReduceSeqUnroll(_go_decl(f.f))
+        if isinstance(f, pat.ReduceSeq):
+            return pat.ReduceSeq(_go_decl(f.f))
+        if isinstance(f, pat.Iterate):
+            return pat.Iterate(f.n, _go_decl(f.f))
+        if isinstance(f, pat.ToGlobal):
+            return pat.ToGlobal(_go_decl(f.f))
+        if isinstance(f, pat.ToLocal):
+            return pat.ToLocal(_go_decl(f.f))
+        if isinstance(f, pat.ToPrivate):
+            return pat.ToPrivate(_go_decl(f.f))
+        return f
+
+    return go_expr(expr)

@@ -1,0 +1,381 @@
+"""Recursive-descent parser for the OpenCL-C subset.
+
+Produces the same AST node classes the Lift code generator emits
+(:mod:`repro.compiler.cast`), which means the whole pipeline —
+generator, printer, parser, interpreter — shares one representation and
+hand-written reference kernels go through exactly the same execution
+path as generated ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compiler import cast as c
+from repro.opencl.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    pass
+
+
+_SCALAR_TYPES = {"float", "int", "uint", "double", "bool", "void", "long", "size_t", "char"}
+_VECTOR_WIDTHS = ("2", "3", "4", "8", "16")
+_VECTOR_TYPES = {
+    f"{base}{w}" for base in ("float", "int", "uint", "double") for w in _VECTOR_WIDTHS
+}
+_QUALIFIERS = {"const", "global", "local", "private", "restrict", "__global", "__local",
+               "__private", "__constant", "constant", "volatile", "unsigned"}
+
+
+@dataclass
+class StructDef:
+    name: str
+    members: list  # [(type_name, member_name)]
+
+
+@dataclass
+class ParsedProgram:
+    functions: dict = field(default_factory=dict)   # name -> CFunctionDef
+    structs: dict = field(default_factory=dict)     # name -> StructDef
+    kernels: list = field(default_factory=list)     # kernel names in order
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.structs: dict[str, StructDef] = {}
+
+    # -- token helpers ----------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(
+                f"line {tok.line}: expected {text!r}, found {tok.text!r}"
+            )
+        return tok
+
+    def _is_type_name(self, text: str) -> bool:
+        return (
+            text in _SCALAR_TYPES
+            or text in _VECTOR_TYPES
+            or text in self.structs
+        )
+
+    # -- top level ---------------------------------------------------------
+    def parse_program(self) -> ParsedProgram:
+        prog = ParsedProgram()
+        while self.peek().kind != "eof":
+            if self.peek().text == "typedef":
+                struct = self.parse_typedef()
+                prog.structs[struct.name] = struct
+                continue
+            fn = self.parse_function()
+            prog.functions[fn.name] = fn
+            if fn.is_kernel:
+                prog.kernels.append(fn.name)
+        return prog
+
+    def parse_typedef(self) -> StructDef:
+        self.expect("typedef")
+        self.expect("struct")
+        self.expect("{")
+        members = []
+        while not self.accept("}"):
+            type_name = self.next().text
+            member = self.next().text
+            self.expect(";")
+            members.append((type_name, member))
+        name = self.next().text
+        self.expect(";")
+        struct = StructDef(name, members)
+        self.structs[name] = struct
+        return struct
+
+    def parse_function(self) -> c.CFunctionDef:
+        is_kernel = False
+        while self.peek().text in ("kernel", "__kernel", "static", "inline"):
+            if self.next().text in ("kernel", "__kernel"):
+                is_kernel = True
+        ret_type = self.next().text
+        name = self.next().text
+        self.expect("(")
+        params = []
+        if not self.accept(")"):
+            while True:
+                params.append(self.parse_param())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        body = self.parse_block()
+        return c.CFunctionDef(ret_type, name, params, body, is_kernel)
+
+    def parse_param(self) -> c.CParam:
+        quals = []
+        while self.peek().text in _QUALIFIERS:
+            quals.append(self.next().text.lstrip("_"))
+        type_name = self.next().text
+        is_pointer = self.accept("*")
+        is_restrict = False
+        while self.peek().text in _QUALIFIERS:
+            if self.next().text == "restrict":
+                is_restrict = True
+        name = self.next().text
+        return c.CParam(type_name, name, tuple(quals), is_pointer, is_restrict)
+
+    # -- statements ----------------------------------------------------------
+    def parse_block(self) -> c.CBlock:
+        self.expect("{")
+        block = c.CBlock()
+        while not self.accept("}"):
+            block.add(self.parse_stmt())
+        return block
+
+    def parse_stmt(self) -> c.CStmt:
+        tok = self.peek()
+        if tok.text == "{":
+            return self.parse_block()
+        if tok.text == "for":
+            return self.parse_for()
+        if tok.text == "if":
+            return self.parse_if()
+        if tok.text == "while":
+            return self.parse_while()
+        if tok.text == "return":
+            self.next()
+            if self.accept(";"):
+                return c.CReturn(None)
+            value = self.parse_expr()
+            self.expect(";")
+            return c.CReturn(value)
+        if tok.text == "barrier":
+            self.next()
+            self.expect("(")
+            fence = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            fence_name = fence.name if isinstance(fence, c.CIdent) else "CLK_LOCAL_MEM_FENCE"
+            return c.CBarrier(fence_name)
+        if self._starts_decl():
+            return self.parse_decl()
+        stmt = self.parse_expr_or_assign()
+        self.expect(";")
+        return stmt
+
+    def _starts_decl(self) -> bool:
+        i = 0
+        while self.peek(i).text in _QUALIFIERS:
+            i += 1
+        return self.peek(i).kind == "ident" and self._is_type_name(self.peek(i).text)
+
+    def parse_decl(self) -> c.CStmt:
+        qualifier = ""
+        while self.peek().text in _QUALIFIERS:
+            q = self.next().text.lstrip("_")
+            if q in ("global", "local", "private", "constant"):
+                qualifier = q
+        type_name = self.next().text
+        decls = []
+        while True:
+            is_pointer = self.accept("*")
+            name = self.next().text
+            array_size: Optional[int] = None
+            init: Optional[c.CExpr] = None
+            if self.accept("["):
+                size_tok = self.next()
+                if size_tok.kind != "int":
+                    raise ParseError(
+                        f"line {size_tok.line}: array sizes must be integer "
+                        f"literals, found {size_tok.text!r}"
+                    )
+                array_size = int(size_tok.text)
+                self.expect("]")
+            if self.accept("="):
+                init = self.parse_expr()
+            decls.append(
+                c.CDecl(type_name, name, qualifier, array_size, init, is_pointer)
+            )
+            if not self.accept(","):
+                break
+        self.expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return c.CBlock(decls)
+
+    def parse_for(self) -> c.CFor:
+        self.expect("for")
+        self.expect("(")
+        init: Optional[c.CStmt] = None
+        if not self.accept(";"):
+            if self._starts_decl():
+                init = self.parse_decl()
+            else:
+                init = self.parse_expr_or_assign()
+                self.expect(";")
+        cond: Optional[c.CExpr] = None
+        if not self.accept(";"):
+            cond = self.parse_expr()
+            self.expect(";")
+        step: Optional[c.CStmt] = None
+        if self.peek().text != ")":
+            step = self.parse_expr_or_assign()
+        self.expect(")")
+        body = self.parse_stmt()
+        if not isinstance(body, c.CBlock):
+            body = c.CBlock([body])
+        return c.CFor(init, cond, step, body)
+
+    def parse_while(self) -> c.CFor:
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self.parse_stmt()
+        if not isinstance(body, c.CBlock):
+            body = c.CBlock([body])
+        return c.CFor(None, cond, None, body)
+
+    def parse_if(self) -> c.CIf:
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_stmt()
+        if not isinstance(then, c.CBlock):
+            then = c.CBlock([then])
+        otherwise = None
+        if self.accept("else"):
+            other = self.parse_stmt()
+            otherwise = other if isinstance(other, c.CBlock) else c.CBlock([other])
+        return c.CIf(cond, then, otherwise)
+
+    def parse_expr_or_assign(self) -> c.CStmt:
+        target = self.parse_expr()
+        tok = self.peek().text
+        if tok in ("=", "+=", "-=", "*=", "/="):
+            self.next()
+            value = self.parse_expr()
+            return c.CAssign(target, value, tok)
+        return c.CExprStmt(target)
+
+    # -- expressions --------------------------------------------------------
+    def parse_expr(self) -> c.CExpr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> c.CExpr:
+        cond = self.parse_binary(1)
+        if self.accept("?"):
+            then = self.parse_expr()
+            self.expect(":")
+            otherwise = self.parse_ternary()
+            return c.CTernary(cond, then, otherwise)
+        return cond
+
+    _BIN_LEVELS = [
+        ("||",),
+        ("&&",),
+        ("==", "!="),
+        ("<", ">", "<=", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_binary(self, level: int) -> c.CExpr:
+        if level > len(self._BIN_LEVELS):
+            return self.parse_unary()
+        ops = self._BIN_LEVELS[level - 1]
+        lhs = self.parse_binary(level + 1)
+        while self.peek().text in ops:
+            op = self.next().text
+            rhs = self.parse_binary(level + 1)
+            lhs = c.CBinOp(op, lhs, rhs)
+        return lhs
+
+    def parse_unary(self) -> c.CExpr:
+        tok = self.peek()
+        if tok.text in ("-", "!", "+"):
+            self.next()
+            operand = self.parse_unary()
+            if tok.text == "+":
+                return operand
+            return c.CUnOp(tok.text, operand)
+        if tok.text == "(" and self._is_cast():
+            self.next()
+            type_name = self.next().text
+            self.expect(")")
+            if self.peek().text == "(" and type_name in _VECTOR_TYPES:
+                self.next()
+                items = [self.parse_expr()]
+                while self.accept(","):
+                    items.append(self.parse_expr())
+                self.expect(")")
+                if len(items) == 1:
+                    return c.CVectorLiteral(type_name, items)
+                return c.CVectorLiteral(type_name, items)
+            return c.CCast(type_name, self.parse_unary())
+        return self.parse_postfix()
+
+    def _is_cast(self) -> bool:
+        return (
+            self.peek().text == "("
+            and self.peek(1).kind == "ident"
+            and self._is_type_name(self.peek(1).text)
+            and self.peek(2).text == ")"
+        )
+
+    def parse_postfix(self) -> c.CExpr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                expr = c.CIndex(expr, index)
+            elif self.peek().text == "." and self.peek(1).kind == "ident":
+                self.next()
+                member = self.next().text
+                expr = c.CMember(expr, member)
+            elif self.peek().text == "(" and isinstance(expr, c.CIdent):
+                self.next()
+                args = []
+                if self.peek().text != ")":
+                    args.append(self.parse_expr())
+                    while self.accept(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                expr = c.CCall(expr.name, args)
+            else:
+                return expr
+
+    def parse_primary(self) -> c.CExpr:
+        tok = self.next()
+        if tok.kind == "int":
+            return c.CInt(int(tok.text, 0))
+        if tok.kind == "float":
+            return c.CFloat(float(tok.text))
+        if tok.kind == "ident":
+            return c.CIdent(tok.text)
+        if tok.text == "(":
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        raise ParseError(f"line {tok.line}: unexpected token {tok.text!r}")
+
+
+def parse(source: str) -> ParsedProgram:
+    return Parser(source).parse_program()

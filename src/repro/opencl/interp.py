@@ -1,0 +1,580 @@
+"""NDRange interpreter for the OpenCL-C subset.
+
+Work-items of a work-group execute in lock-step between barriers: each
+work-item is a Python generator that yields at every ``barrier`` call;
+the scheduler advances all items of a group to the next barrier (or to
+completion) and checks that they synchronized uniformly, which is exactly
+the OpenCL contract.  Statements that provably contain no barrier run on
+a fast non-generator path.
+
+The interpreter maintains hardware-style performance counters
+(:class:`Counters`); the cost model in :mod:`repro.opencl.cost` converts
+them into estimated cycles per device profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.compiler import cast as c
+from repro.opencl.cparser import ParsedProgram, StructDef
+
+
+class ExecError(Exception):
+    pass
+
+
+class BarrierDivergence(ExecError):
+    """Work-items of one group hit different numbers of barriers."""
+
+
+class _Return(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+@dataclass
+class Counters:
+    """Dynamic execution counts summed over all work-items."""
+
+    flops: int = 0
+    iops: int = 0
+    idivmod: int = 0
+    idivmod_const: int = 0
+    cached_loads: int = 0
+    global_loads: int = 0
+    global_stores: int = 0
+    local_loads: int = 0
+    local_stores: int = 0
+    private_loads: int = 0
+    private_stores: int = 0
+    barriers: int = 0
+    calls: int = 0
+    branches: int = 0
+    loop_iterations: int = 0
+    work_items: int = 0
+
+    def total_memory_ops(self) -> int:
+        return (
+            self.global_loads + self.global_stores
+            + self.local_loads + self.local_stores
+            + self.private_loads + self.private_stores
+        )
+
+    def merged_with(self, other: "Counters") -> "Counters":
+        merged = Counters()
+        for name in vars(self):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+
+class Pointer:
+    """A typed pointer into a buffer (global/local/private)."""
+
+    __slots__ = ("array", "offset", "space")
+
+    def __init__(self, array: np.ndarray, offset: int, space: str):
+        self.array = array
+        self.offset = offset
+        self.space = space
+
+    def plus(self, delta: int) -> "Pointer":
+        return Pointer(self.array, self.offset + int(delta), self.space)
+
+    def load(self, index: int) -> Any:
+        return self.array[self.offset + int(index)]
+
+    def store(self, index: int, value: Any) -> None:
+        self.array[self.offset + int(index)] = value
+
+
+_VEC_MEMBERS = {"x": 0, "y": 1, "z": 2, "w": 3}
+
+
+def _c_int_div(a: int, b: int) -> int:
+    """C semantics: truncation toward zero."""
+    if b == 0:
+        raise ExecError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_int_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ExecError("integer modulo by zero")
+    return a - _c_int_div(a, b) * b
+
+
+class LaunchContext:
+    """Per-launch state: counters, geometry, struct definitions."""
+
+    def __init__(
+        self,
+        program: ParsedProgram,
+        global_size: tuple,
+        local_size: tuple,
+        counters: Counters,
+    ):
+        self.program = program
+        self.global_size = global_size
+        self.local_size = local_size
+        self.num_groups = tuple(g // l for g, l in zip(global_size, local_size))
+        self.counters = counters
+        self._barrier_cache: dict[int, bool] = {}
+
+    # -- static barrier analysis -----------------------------------------
+    def contains_barrier(self, stmt: c.CStmt) -> bool:
+        key = id(stmt)
+        cached = self._barrier_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._scan_barrier(stmt)
+        self._barrier_cache[key] = result
+        return result
+
+    def _scan_barrier(self, stmt: c.CStmt) -> bool:
+        if isinstance(stmt, c.CBarrier):
+            return True
+        if isinstance(stmt, c.CBlock):
+            return any(self._scan_barrier(s) for s in stmt.stmts)
+        if isinstance(stmt, c.CFor):
+            return self._scan_barrier(stmt.body)
+        if isinstance(stmt, c.CIf):
+            if self._scan_barrier(stmt.then):
+                return True
+            return stmt.otherwise is not None and self._scan_barrier(stmt.otherwise)
+        return False
+
+
+class WorkItem:
+    """One OpenCL work-item executing a kernel body."""
+
+    def __init__(self, ctx: LaunchContext, env: dict, gid: tuple, lid: tuple,
+                 group: tuple):
+        self.ctx = ctx
+        self.env = env
+        self.gid = gid
+        self.lid = lid
+        self.group = group
+        # Addresses this work-item has already read or written.  A repeat
+        # access hits the register file / L1 on real hardware (compilers
+        # promote loop-invariant loads to registers); the cost model
+        # charges it as a cached load instead of memory traffic.
+        self._touched: set = set()
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+    def run_gen(self, stmt: c.CStmt):
+        """Generator path for statements that may contain barriers."""
+        if not self.ctx.contains_barrier(stmt):
+            self.run_fast(stmt)
+            return
+        if isinstance(stmt, c.CBlock):
+            for s in stmt.stmts:
+                yield from self.run_gen(s)
+            return
+        if isinstance(stmt, c.CBarrier):
+            self.ctx.counters.barriers += 1
+            yield "barrier"
+            return
+        if isinstance(stmt, c.CFor):
+            if stmt.init is not None:
+                self.run_fast(stmt.init)
+            while stmt.cond is None or self._truthy(self.eval(stmt.cond)):
+                self.ctx.counters.loop_iterations += 1
+                yield from self.run_gen(stmt.body)
+                if stmt.step is not None:
+                    self.run_fast(stmt.step)
+            return
+        if isinstance(stmt, c.CIf):
+            self.ctx.counters.branches += 1
+            if self._truthy(self.eval(stmt.cond)):
+                yield from self.run_gen(stmt.then)
+            elif stmt.otherwise is not None:
+                yield from self.run_gen(stmt.otherwise)
+            return
+        self.run_fast(stmt)
+
+    def run_fast(self, stmt: c.CStmt) -> None:
+        """Non-generator path for barrier-free statements."""
+        if isinstance(stmt, c.CBlock):
+            for s in stmt.stmts:
+                self.run_fast(s)
+        elif isinstance(stmt, c.CAssign):
+            self._assign(stmt)
+        elif isinstance(stmt, c.CDecl):
+            self._declare(stmt)
+        elif isinstance(stmt, c.CFor):
+            if stmt.init is not None:
+                self.run_fast(stmt.init)
+            while stmt.cond is None or self._truthy(self.eval(stmt.cond)):
+                self.ctx.counters.loop_iterations += 1
+                self.run_fast(stmt.body)
+                if stmt.step is not None:
+                    self.run_fast(stmt.step)
+        elif isinstance(stmt, c.CIf):
+            self.ctx.counters.branches += 1
+            if self._truthy(self.eval(stmt.cond)):
+                self.run_fast(stmt.then)
+            elif stmt.otherwise is not None:
+                self.run_fast(stmt.otherwise)
+        elif isinstance(stmt, c.CExprStmt):
+            self.eval(stmt.expr)
+        elif isinstance(stmt, c.CReturn):
+            value = self.eval(stmt.value) if stmt.value is not None else None
+            raise _Return(value)
+        elif isinstance(stmt, c.CComment):
+            pass
+        elif isinstance(stmt, c.CBarrier):
+            raise ExecError("barrier reached on the barrier-free path")
+        else:
+            raise ExecError(f"cannot execute {stmt!r}")
+
+    def _declare(self, decl: c.CDecl) -> None:
+        name = decl.name
+        if decl.qualifier == "local" and decl.array_size is not None:
+            # Bound to the group-shared buffer allocated by the scheduler.
+            if name not in self.env:
+                raise ExecError(f"local buffer {name} was not pre-allocated")
+            return
+        if decl.array_size is not None:
+            dtype = np.int64 if decl.type_name in ("int", "uint", "long") else np.float64
+            self.env[name] = Pointer(
+                np.zeros(decl.array_size, dtype=dtype), 0, "private"
+            )
+            return
+        if decl.init is not None:
+            self.env[name] = self.eval(decl.init)
+            return
+        struct = self.ctx.program.structs.get(decl.type_name)
+        if struct is not None:
+            self.env[name] = {m: 0.0 for _, m in struct.members}
+        elif decl.type_name.rstrip("1234568") in ("float", "int", "uint", "double"):
+            width = decl.type_name.lstrip("floatinudbe")
+            if width and width in ("2", "3", "4", "8", "16"):
+                self.env[name] = np.zeros(int(width), dtype=np.float64)
+            else:
+                self.env[name] = 0
+        else:
+            self.env[name] = 0
+
+    def _assign(self, stmt: c.CAssign) -> None:
+        value = self.eval(stmt.value)
+        if stmt.op != "=":
+            current = self.eval(stmt.target)
+            op = stmt.op[0]
+            value = self._binop_value(op, current, value)
+            self._count_binop(op, current, value)
+        target = stmt.target
+        if isinstance(target, c.CIdent):
+            self.env[target.name] = value
+        elif isinstance(target, c.CIndex):
+            base = self.eval(target.base)
+            index = self.eval(target.index)
+            if not isinstance(base, Pointer):
+                raise ExecError(f"indexed store into non-pointer {target.base!r}")
+            base.store(index, value)
+            self._count_store(base.space, 1)
+        elif isinstance(target, c.CMember):
+            container = self.eval(target.base)
+            if isinstance(container, dict):
+                container[target.member] = value
+            elif isinstance(container, np.ndarray):
+                container[_VEC_MEMBERS[target.member]] = value
+            else:
+                raise ExecError(f"member store into {container!r}")
+        else:
+            raise ExecError(f"cannot assign to {target!r}")
+
+    # ------------------------------------------------------------------
+    # expression evaluation
+    # ------------------------------------------------------------------
+    def eval(self, e: c.CExpr) -> Any:
+        if isinstance(e, c.CInt):
+            return e.value
+        if isinstance(e, c.CFloat):
+            return e.value
+        if isinstance(e, c.CIdent):
+            try:
+                return self.env[e.name]
+            except KeyError:
+                raise ExecError(f"undefined identifier {e.name!r}") from None
+        if isinstance(e, c.CBinOp):
+            if e.op == "&&":
+                return self._truthy(self.eval(e.lhs)) and self._truthy(self.eval(e.rhs))
+            if e.op == "||":
+                return self._truthy(self.eval(e.lhs)) or self._truthy(self.eval(e.rhs))
+            lhs = self.eval(e.lhs)
+            rhs = self.eval(e.rhs)
+            self._count_binop(e.op, lhs, rhs, const_rhs=isinstance(e.rhs, c.CInt))
+            return self._binop_value(e.op, lhs, rhs)
+        if isinstance(e, c.CUnOp):
+            v = self.eval(e.operand)
+            if e.op == "-":
+                return -v
+            if e.op == "!":
+                return not self._truthy(v)
+            raise ExecError(f"unknown unary operator {e.op}")
+        if isinstance(e, c.CTernary):
+            self.ctx.counters.branches += 1
+            if self._truthy(self.eval(e.cond)):
+                return self.eval(e.then)
+            return self.eval(e.otherwise)
+        if isinstance(e, c.CIndex):
+            base = self.eval(e.base)
+            index = self.eval(e.index)
+            if isinstance(base, Pointer):
+                self._count_load(
+                    base.space, 1, (id(base.array), base.offset + int(index))
+                )
+                return base.load(index)
+            if isinstance(base, np.ndarray):
+                return base[int(index)]
+            raise ExecError(f"cannot index {base!r}")
+        if isinstance(e, c.CMember):
+            container = self.eval(e.base)
+            if isinstance(container, dict):
+                return container[e.member]
+            if isinstance(container, np.ndarray):
+                member = e.member
+                if member in _VEC_MEMBERS:
+                    return container[_VEC_MEMBERS[member]]
+                if member.startswith("s"):
+                    return container[int(member[1:], 16)]
+                if member == "lo":
+                    return container[: len(container) // 2].copy()
+                if member == "hi":
+                    return container[len(container) // 2 :].copy()
+            raise ExecError(f"cannot take member {e.member} of {container!r}")
+        if isinstance(e, c.CCall):
+            return self._call(e)
+        if isinstance(e, c.CCast):
+            v = self.eval(e.operand)
+            if e.type_name in ("int", "uint", "long"):
+                return int(v)
+            if e.type_name in ("float", "double"):
+                return float(v)
+            return v
+        if isinstance(e, c.CVectorLiteral):
+            items = [self.eval(i) for i in e.items]
+            width = int("".join(ch for ch in e.type_name if ch.isdigit()))
+            if len(items) == 1:
+                items = items * width
+            return np.array(items, dtype=np.float64)
+        raise ExecError(f"cannot evaluate {e!r}")
+
+    # ------------------------------------------------------------------
+    # calls and built-ins
+    # ------------------------------------------------------------------
+    def _call(self, e: c.CCall) -> Any:
+        name = e.func
+        if name.startswith("get_"):
+            dim = int(self.eval(e.args[0])) if e.args else 0
+            return self._geometry(name, dim)
+        if name.startswith("vload"):
+            width = int(name[5:])
+            offset = int(self.eval(e.args[0]))
+            ptr = self.eval(e.args[1])
+            assert isinstance(ptr, Pointer)
+            start = ptr.offset + offset * width
+            self._count_load(ptr.space, width, (id(ptr.array), start, width))
+            return ptr.array[start : start + width].astype(np.float64)
+        if name.startswith("vstore"):
+            width = int(name[6:])
+            value = self.eval(e.args[0])
+            offset = int(self.eval(e.args[1]))
+            ptr = self.eval(e.args[2])
+            assert isinstance(ptr, Pointer)
+            start = ptr.offset + offset * width
+            ptr.array[start : start + width] = value
+            self._count_store(ptr.space, width)
+            return None
+
+        args = [self.eval(a) for a in e.args]
+        builtin = _MATH_BUILTINS.get(name)
+        if builtin is not None:
+            cost, fn = builtin
+            self.ctx.counters.flops += cost * _width_of(args)
+            return fn(*args)
+
+        fn_def = self.ctx.program.functions.get(name)
+        if fn_def is None:
+            raise ExecError(f"call to unknown function {name!r}")
+        self.ctx.counters.calls += 1
+        return self._call_helper(fn_def, args)
+
+    def _call_helper(self, fn: c.CFunctionDef, args: list) -> Any:
+        saved = self.env
+        # C passes structs and vectors by value.
+        by_value = [
+            dict(a) if isinstance(a, dict)
+            else a.copy() if isinstance(a, np.ndarray)
+            else a
+            for a in args
+        ]
+        self.env = dict(
+            (p.name, a) for p, a in zip(fn.params, by_value)
+        )
+        # Helpers share geometry builtins but not local variables.
+        try:
+            self.run_fast(fn.body)
+            result = None
+        except _Return as r:
+            result = r.value
+        finally:
+            self.env = saved
+        return result
+
+    def _geometry(self, name: str, dim: int) -> int:
+        ctx = self.ctx
+        if name == "get_global_id":
+            return self.gid[dim]
+        if name == "get_local_id":
+            return self.lid[dim]
+        if name == "get_group_id":
+            return self.group[dim]
+        if name == "get_local_size":
+            return ctx.local_size[dim]
+        if name == "get_global_size":
+            return ctx.global_size[dim]
+        if name == "get_num_groups":
+            return ctx.num_groups[dim]
+        raise ExecError(f"unknown geometry builtin {name}")
+
+    # ------------------------------------------------------------------
+    # counting helpers
+    # ------------------------------------------------------------------
+    def _count_binop(
+        self, op: str, lhs: Any, rhs: Any, const_rhs: bool = False
+    ) -> None:
+        counters = self.ctx.counters
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            counters.iops += 1
+            return
+        is_float = (
+            isinstance(lhs, (float, np.floating, np.ndarray))
+            or isinstance(rhs, (float, np.floating, np.ndarray))
+        )
+        if is_float:
+            counters.flops += max(_width_of([lhs]), _width_of([rhs]))
+        elif op in ("/", "%"):
+            # Real driver compilers strength-reduce division by literal
+            # constants: a power of two becomes a shift/mask (one ALU op),
+            # any other literal a multiply-by-reciprocal sequence; only a
+            # dynamic divisor pays the full multi-instruction cost.
+            if const_rhs and _is_int(rhs) and int(rhs) > 0 and (int(rhs) & (int(rhs) - 1)) == 0:
+                counters.iops += 1
+            elif const_rhs:
+                counters.idivmod_const += 1
+            else:
+                counters.idivmod += 1
+        else:
+            counters.iops += 1
+
+    @staticmethod
+    def _binop_value(op: str, lhs: Any, rhs: Any) -> Any:
+        if isinstance(lhs, Pointer):
+            if op == "+":
+                return lhs.plus(int(rhs))
+            if op == "-":
+                return lhs.plus(-int(rhs))
+            raise ExecError(f"unsupported pointer operation {op}")
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if _is_int(lhs) and _is_int(rhs):
+                return _c_int_div(int(lhs), int(rhs))
+            return lhs / rhs
+        if op == "%":
+            if _is_int(lhs) and _is_int(rhs):
+                return _c_int_mod(int(lhs), int(rhs))
+            return math.fmod(lhs, rhs)
+        if op == "==":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        if op == "<":
+            return lhs < rhs
+        if op == ">":
+            return lhs > rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">=":
+            return lhs >= rhs
+        raise ExecError(f"unknown operator {op}")
+
+    def _count_load(self, space: str, width: int, address=None) -> None:
+        counters = self.ctx.counters
+        if address is not None and space in ("global", "local"):
+            if address in self._touched:
+                counters.cached_loads += width
+                return
+            self._touched.add(address)
+        if space == "global":
+            counters.global_loads += width
+        elif space == "local":
+            counters.local_loads += width
+        else:
+            counters.private_loads += width
+
+    def _count_store(self, space: str, width: int) -> None:
+        counters = self.ctx.counters
+        if space == "global":
+            counters.global_stores += width
+        elif space == "local":
+            counters.local_stores += width
+        else:
+            counters.private_stores += width
+
+    @staticmethod
+    def _truthy(v: Any) -> bool:
+        if isinstance(v, np.ndarray):
+            raise ExecError("vector used in a scalar condition")
+        return bool(v)
+
+
+def _is_int(v: Any) -> bool:
+    return isinstance(v, (int, np.integer)) and not isinstance(v, bool)
+
+
+def _width_of(args: list) -> int:
+    for a in args:
+        if isinstance(a, np.ndarray):
+            return len(a)
+    return 1
+
+
+_MATH_BUILTINS = {
+    # name: (flop cost, implementation)
+    "sqrt": (4, np.sqrt),
+    "native_sqrt": (2, np.sqrt),
+    "rsqrt": (4, lambda x: 1.0 / np.sqrt(x)),
+    "native_rsqrt": (2, lambda x: 1.0 / np.sqrt(x)),
+    "fabs": (1, np.abs),
+    "exp": (8, np.exp),
+    "log": (8, np.log),
+    "sin": (8, np.sin),
+    "cos": (8, np.cos),
+    "tan": (10, np.tan),
+    "pow": (10, np.power),
+    "floor": (1, np.floor),
+    "ceil": (1, np.ceil),
+    "fmin": (1, np.minimum),
+    "fmax": (1, np.maximum),
+    "min": (1, lambda a, b: min(a, b)),
+    "max": (1, lambda a, b: max(a, b)),
+    "mad": (1, lambda a, b, x: a * b + x),
+    "fma": (1, lambda a, b, x: a * b + x),
+    "clamp": (2, lambda x, lo, hi: min(max(x, lo), hi)),
+    "dot": (7, lambda a, b: float(np.dot(a, b))),
+    "length": (11, lambda a: float(np.sqrt(np.dot(a, a)))),
+}

@@ -1,0 +1,105 @@
+"""Tokenizer for the OpenCL-C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class LexError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident", "int", "float", "punct", "eof"
+    text: str
+    pos: int
+    line: int
+
+
+_PUNCT3 = ("<<=", ">>=")
+_PUNCT2 = (
+    "+=", "-=", "*=", "/=", "%=", "==", "!=", "<=", ">=", "&&", "||",
+    "<<", ">>", "->",
+)
+_PUNCT1 = "+-*/%=<>!?:,;()[]{}.&|^~"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i)
+            if end < 0:
+                raise LexError(f"unterminated comment at line {line}")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(Token("ident", source[i:j], i, line))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and (source[j].isdigit()):
+                j += 1
+            if j < n and source[j] == ".":
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "fF":
+                is_float = True
+                j += 1
+                tokens.append(Token("float", source[i:j - 1], i, line))
+            elif j < n and source[j] in "uUlL":
+                j += 1
+                tokens.append(Token("int", source[i:j - 1], i, line))
+            else:
+                kind = "float" if is_float else "int"
+                tokens.append(Token(kind, source[i:j], i, line))
+            i = j
+            continue
+        matched = False
+        for p in _PUNCT3 + _PUNCT2:
+            if source.startswith(p, i):
+                tokens.append(Token("punct", p, i, line))
+                i += len(p)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT1:
+            tokens.append(Token("punct", ch, i, line))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r} at line {line}")
+    tokens.append(Token("eof", "", n, line))
+    return tokens

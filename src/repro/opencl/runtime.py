@@ -1,0 +1,189 @@
+"""Kernel launching: the simulated ``clEnqueueNDRangeKernel``.
+
+Work-groups execute sequentially (their relative order is unspecified in
+OpenCL, so any order is conforming); work-items within a group run in
+lock-step between barriers via the generator mechanism of
+:mod:`repro.opencl.interp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.compiler import cast as c
+from repro.opencl.cparser import ParsedProgram, parse
+from repro.opencl.interp import (
+    BarrierDivergence,
+    Counters,
+    ExecError,
+    LaunchContext,
+    Pointer,
+    WorkItem,
+    _Return,
+)
+
+
+@dataclass
+class Buffer:
+    """A global-memory buffer (host-visible numpy array)."""
+
+    data: np.ndarray
+
+    @staticmethod
+    def zeros(count: int, dtype: str = "float") -> "Buffer":
+        np_dtype = np.int64 if dtype in ("int", "uint", "long") else np.float64
+        return Buffer(np.zeros(count, dtype=np_dtype))
+
+    @staticmethod
+    def from_array(values) -> "Buffer":
+        arr = np.asarray(values)
+        if arr.dtype.kind == "i":
+            return Buffer(arr.astype(np.int64).ravel())
+        return Buffer(arr.astype(np.float64).ravel())
+
+
+class OpenCLProgram:
+    """A parsed OpenCL program with one or more kernels."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.parsed: ParsedProgram = parse(source)
+        if not self.parsed.kernels:
+            raise ValueError("program contains no kernel")
+
+    def kernel(self, name: Optional[str] = None) -> c.CFunctionDef:
+        if name is None:
+            name = self.parsed.kernels[0]
+        fn = self.parsed.functions.get(name)
+        if fn is None or not fn.is_kernel:
+            raise KeyError(f"no kernel named {name!r}")
+        return fn
+
+
+def _normalize_size(size) -> tuple:
+    if isinstance(size, int):
+        size = (size,)
+    size = tuple(size)
+    return size + (1,) * (3 - len(size))
+
+
+def _collect_local_decls(stmt: c.CStmt, out: list) -> None:
+    if isinstance(stmt, c.CDecl):
+        if stmt.qualifier == "local" and stmt.array_size is not None:
+            out.append(stmt)
+    elif isinstance(stmt, c.CBlock):
+        for s in stmt.stmts:
+            _collect_local_decls(s, out)
+    elif isinstance(stmt, c.CFor):
+        _collect_local_decls(stmt.body, out)
+    elif isinstance(stmt, c.CIf):
+        _collect_local_decls(stmt.then, out)
+        if stmt.otherwise is not None:
+            _collect_local_decls(stmt.otherwise, out)
+
+
+def launch(
+    program: OpenCLProgram,
+    global_size,
+    local_size,
+    args: Mapping[str, Any],
+    kernel_name: Optional[str] = None,
+    counters: Optional[Counters] = None,
+) -> Counters:
+    """Execute a kernel over the NDRange; returns the counters."""
+    kernel = program.kernel(kernel_name)
+    gsize = _normalize_size(global_size)
+    lsize = _normalize_size(local_size)
+    for g, l in zip(gsize, lsize):
+        if l <= 0 or g % l:
+            raise ValueError(
+                f"global size {gsize} not divisible by local size {lsize}"
+            )
+
+    counters = counters if counters is not None else Counters()
+    ctx = LaunchContext(program.parsed, gsize, lsize, counters)
+
+    base_env: dict[str, Any] = {}
+    for p in kernel.params:
+        if p.name not in args:
+            raise KeyError(f"missing kernel argument {p.name!r}")
+        value = args[p.name]
+        if p.is_pointer:
+            if isinstance(value, Buffer):
+                base_env[p.name] = Pointer(value.data, 0, "global")
+            elif isinstance(value, np.ndarray):
+                base_env[p.name] = Pointer(value, 0, "global")
+            else:
+                raise TypeError(f"buffer expected for parameter {p.name}")
+        else:
+            base_env[p.name] = value
+
+    local_decls: list[c.CDecl] = []
+    _collect_local_decls(kernel.body, local_decls)
+
+    num_groups = tuple(g // l for g, l in zip(gsize, lsize))
+    items_per_group = lsize[0] * lsize[1] * lsize[2]
+
+    for gz in range(num_groups[2]):
+        for gy in range(num_groups[1]):
+            for gx in range(num_groups[0]):
+                group = (gx, gy, gz)
+                group_env = dict(base_env)
+                for decl in local_decls:
+                    dtype = (
+                        np.int64
+                        if decl.type_name in ("int", "uint", "long")
+                        else np.float64
+                    )
+                    group_env[decl.name] = Pointer(
+                        np.zeros(decl.array_size, dtype=dtype), 0, "local"
+                    )
+                _run_group(ctx, kernel, group_env, group, lsize)
+                counters.work_items += items_per_group
+    return counters
+
+
+def _run_group(
+    ctx: LaunchContext,
+    kernel: c.CFunctionDef,
+    group_env: dict,
+    group: tuple,
+    lsize: tuple,
+) -> None:
+    generators = []
+    for lz in range(lsize[2]):
+        for ly in range(lsize[1]):
+            for lx in range(lsize[0]):
+                lid = (lx, ly, lz)
+                gid = tuple(
+                    group[d] * lsize[d] + lid[d] for d in range(3)
+                )
+                item = WorkItem(ctx, dict(group_env), gid, lid, group)
+                generators.append(_item_driver(item, kernel.body))
+
+    alive = list(generators)
+    while alive:
+        statuses = []
+        still_alive = []
+        for gen in alive:
+            try:
+                status = next(gen)
+                statuses.append(status)
+                still_alive.append(gen)
+            except StopIteration:
+                statuses.append("done")
+        if still_alive and any(s == "done" for s in statuses):
+            raise BarrierDivergence(
+                "some work-items finished while others wait at a barrier"
+            )
+        alive = still_alive
+
+
+def _item_driver(item: WorkItem, body: c.CBlock):
+    try:
+        yield from item.run_gen(body)
+    except _Return:
+        pass

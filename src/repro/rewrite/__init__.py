@@ -1,0 +1,42 @@
+"""Rewrite rules and lowering strategies.
+
+The paper builds on prior work ([18], ICFP 2015) that maps portable
+high-level Lift IL (generic ``map``/``reduce``) onto the OpenCL-specific
+low-level IL via semantics-preserving rewrite rules.  This package
+reproduces that substrate: algorithmic rules (fusion, split-join,
+vectorization), lowering rules (map -> mapGlb/mapWrg/mapLcl/mapSeq), a
+small strategy language, and deterministic lowering recipes.
+"""
+
+from repro.rewrite.rules import (
+    RULES,
+    Rewrite,
+    Rule,
+    fusion_rules,
+    lowering_rules,
+    simplification_rules,
+)
+from repro.rewrite.strategies import (
+    apply_at,
+    apply_everywhere,
+    exhaustively,
+    find_matches,
+    rewrite_first,
+)
+from repro.rewrite.lowering import lower_to_global, lower_to_work_groups
+
+__all__ = [
+    "RULES",
+    "Rewrite",
+    "Rule",
+    "apply_at",
+    "apply_everywhere",
+    "exhaustively",
+    "find_matches",
+    "fusion_rules",
+    "lower_to_global",
+    "lower_to_work_groups",
+    "lowering_rules",
+    "rewrite_first",
+    "simplification_rules",
+]

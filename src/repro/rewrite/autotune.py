@@ -1,0 +1,145 @@
+"""Automatic schedule selection over the rewrite space.
+
+The paper separates optimization decisions (prior work [18], rewrite
+rules + search) from code generation (the paper itself).  This module
+closes the loop the way the Lift project does: enumerate lowerings of a
+portable high-level program, compile each candidate, *execute* it on the
+simulated device, verify it against the reference interpreter, and rank
+by the cost model.  It is the reproduction's stand-in for the
+auto-tuning arrow in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.nodes import Lambda
+from repro.ir.interp import apply_fun
+from repro.ir.printer import print_decl
+from repro.compiler.codegen import CodeGenError, compile_kernel
+from repro.compiler.kernel import execute_kernel
+from repro.compiler.options import CompilerOptions
+from repro.opencl.cost import DEVICES, estimate_cycles
+from repro.rewrite.lowering import lower_to_global, lower_to_work_groups
+
+
+@dataclass
+class Candidate:
+    """One point in the schedule space."""
+
+    label: str
+    program: Lambda
+    local_size: tuple
+    global_size: tuple
+
+
+@dataclass
+class TuningResult:
+    candidate: Candidate
+    cycles: float
+    kernel_source: str
+
+    def __repr__(self) -> str:
+        return f"TuningResult({self.candidate.label}, {self.cycles:.0f} cycles)"
+
+
+class TuningError(Exception):
+    pass
+
+
+def default_candidates(
+    high_level: Lambda, n: int, chunks: Sequence[int] = (32, 64, 128)
+) -> list:
+    """The standard lowering menu: flat global mapping plus work-group
+    tilings at several chunk sizes (the split-join rule's knob)."""
+    candidates = [
+        Candidate(
+            "mapGlb", lower_to_global(high_level), (64, 1, 1), (min(n, 1024), 1, 1)
+        )
+    ]
+    for chunk in chunks:
+        if n % chunk:
+            continue
+        candidates.append(
+            Candidate(
+                f"mapWrg/mapLcl(chunk={chunk})",
+                lower_to_work_groups(high_level, chunk=chunk),
+                (min(chunk, 64), 1, 1),
+                (n // chunk * min(chunk, 64), 1, 1),
+            )
+        )
+    return candidates
+
+
+def autotune(
+    high_level: Lambda,
+    inputs: Mapping[str, Any],
+    size_env: Mapping[str, int],
+    candidates: Optional[Iterable[Candidate]] = None,
+    device: str = "nvidia",
+    rtol: float = 1e-9,
+) -> list:
+    """Compile, run, verify and rank every candidate schedule.
+
+    Returns the surviving candidates' :class:`TuningResult` list, sorted
+    best (fewest estimated cycles) first.  Candidates that fail to
+    compile are skipped; candidates that compute a wrong answer raise —
+    a miscompiled schedule is a bug, not a slow schedule.
+    """
+    if candidates is None:
+        first_len = len(np.asarray(next(iter(inputs.values()))).ravel())
+        candidates = default_candidates(high_level, first_len)
+
+    reference = None
+    profile = DEVICES[device]
+    results: list[TuningResult] = []
+
+    for candidate in candidates:
+        options = CompilerOptions(local_size=candidate.local_size)
+        try:
+            kernel = compile_kernel(candidate.program, options)
+        except CodeGenError:
+            continue
+
+        run = execute_kernel(
+            kernel, inputs, size_env, candidate.global_size,
+            local_size=candidate.local_size,
+        )
+
+        if reference is None:
+            args = [
+                np.asarray(inputs[p.name]).ravel().tolist()
+                if isinstance(inputs[p.name], np.ndarray)
+                else inputs[p.name]
+                for p in candidate.program.params
+            ]
+            reference = np.asarray(
+                apply_fun(candidate.program, args, size_env), dtype=float
+            ).ravel()
+        np.testing.assert_allclose(
+            run.output, reference, rtol=rtol, atol=1e-9,
+            err_msg=f"candidate {candidate.label} computed a wrong result",
+        )
+
+        results.append(
+            TuningResult(
+                candidate,
+                estimate_cycles(run.counters, profile),
+                kernel.source,
+            )
+        )
+
+    if not results:
+        raise TuningError("no candidate schedule compiled")
+    results.sort(key=lambda r: r.cycles)
+    return results
+
+
+def describe(results: Iterable[TuningResult]) -> str:
+    lines = ["schedule ranking (fewest estimated cycles first):"]
+    for rank, r in enumerate(results, 1):
+        lines.append(f"  {rank}. {r.candidate.label:<28} {r.cycles:>12.0f} cycles")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Strategies: where and how often to apply rewrite rules.
+
+The engine is deliberately simple (the paper's contribution is the code
+generator, not the search): rules are applied at explicit positions or
+everywhere, optionally to a fixed point, always on cloned graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.ir.nodes import Expr, FunCall
+from repro.ir.visit import clone_expr, transform_calls
+from repro.rewrite.rules import Rule
+
+
+def find_matches(rule: Rule, expr: Expr) -> List[FunCall]:
+    """All call nodes (in post-order) where ``rule`` applies."""
+    matches: list[FunCall] = []
+
+    def probe(call: FunCall) -> Optional[Expr]:
+        if rule.matches(call):
+            matches.append(call)
+        return None
+
+    transform_calls(expr, probe)
+    return matches
+
+
+def apply_at(rule: Rule, expr: Expr, position: int = 0) -> Expr:
+    """Apply ``rule`` at the ``position``-th match (post-order)."""
+    count = [0]
+    applied = [False]
+
+    def visit(call: FunCall) -> Optional[Expr]:
+        if applied[0]:
+            return None
+        replacement = rule.apply(call)
+        if replacement is None:
+            return None
+        if count[0] == position:
+            applied[0] = True
+            return replacement
+        count[0] += 1
+        return None
+
+    result = transform_calls(expr, visit)
+    if not applied[0]:
+        raise ValueError(f"rule {rule.name} has no match at position {position}")
+    return result
+
+
+def rewrite_first(rule: Rule, expr: Expr) -> Optional[Expr]:
+    """Apply at the first match, or return ``None`` when nothing matches."""
+    try:
+        return apply_at(rule, expr, 0)
+    except ValueError:
+        return None
+
+
+def apply_everywhere(rule: Rule, expr: Expr) -> Expr:
+    """One bottom-up pass applying ``rule`` wherever it matches."""
+    return transform_calls(expr, rule.apply)
+
+
+def exhaustively(rules: Iterable[Rule], expr: Expr, max_passes: int = 32) -> Expr:
+    """Apply a rule set bottom-up until a fixed point (bounded)."""
+    rules = list(rules)
+    current = clone_expr(expr)
+    for _ in range(max_passes):
+        changed = [False]
+
+        def visit(call: FunCall) -> Optional[Expr]:
+            for rule in rules:
+                replacement = rule.apply(call)
+                if replacement is not None:
+                    changed[0] = True
+                    return replacement
+            return None
+
+        current = transform_calls(current, visit)
+        if not changed[0]:
+            return current
+    raise RuntimeError("rewriting did not reach a fixed point")
+
+
+def explore(
+    rules: Iterable[Rule], expr: Expr, depth: int = 2, beam: int = 64
+) -> List[Tuple[Expr, List[str]]]:
+    """Bounded exhaustive exploration of the rewrite space.
+
+    Returns ``(program, trace)`` pairs for every program reachable in at
+    most ``depth`` rule applications; the frontier is capped at ``beam``
+    programs per level (deduplicated by printed form).
+    """
+    from repro.ir.printer import print_expr
+
+    seen = {print_expr(expr)}
+    frontier: list[tuple[Expr, list[str]]] = [(expr, [])]
+    results: list[tuple[Expr, list[str]]] = [(expr, [])]
+    rules = list(rules)
+
+    for _ in range(depth):
+        next_frontier: list[tuple[Expr, list[str]]] = []
+        for program, trace in frontier:
+            for rule in rules:
+                n_matches = len(find_matches(rule, program))
+                for position in range(n_matches):
+                    candidate = apply_at(rule, program, position)
+                    key = print_expr(candidate)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    entry = (candidate, trace + [rule.name])
+                    next_frontier.append(entry)
+                    results.append(entry)
+                    if len(next_frontier) >= beam:
+                        break
+                if len(next_frontier) >= beam:
+                    break
+            if len(next_frontier) >= beam:
+                break
+        frontier = next_frontier
+    return results

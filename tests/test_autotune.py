@@ -1,0 +1,68 @@
+"""Tests for the schedule auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.arith import Var
+from repro.types import ArrayType, FLOAT
+from repro.ir.nodes import Lambda, Param, UserFun
+from repro.ir.dsl import map_
+from repro.rewrite.autotune import (
+    Candidate,
+    TuningError,
+    autotune,
+    default_candidates,
+    describe,
+)
+
+
+def _program():
+    n = Var("N")
+    x = Param(ArrayType(FLOAT, n), "x")
+    double = UserFun("dbl", ["v"], "return v * 2.0f;", [FLOAT], FLOAT,
+                     py=lambda v: v * 2.0)
+    return Lambda([x], map_(double)(x))
+
+
+def test_default_candidates_cover_both_shapes():
+    candidates = default_candidates(_program(), 256)
+    labels = [c.label for c in candidates]
+    assert "mapGlb" in labels
+    assert any("mapWrg" in label for label in labels)
+
+
+def test_autotune_ranks_and_verifies():
+    n = 256
+    data = np.arange(n, dtype=float)
+    results = autotune(_program(), {"x": data}, {"N": n})
+    assert len(results) >= 2
+    cycles = [r.cycles for r in results]
+    assert cycles == sorted(cycles)
+    assert "kernel void" in results[0].kernel_source
+    text = describe(results)
+    assert "schedule ranking" in text
+
+
+def test_autotune_rejects_empty_candidate_list():
+    with pytest.raises(TuningError):
+        autotune(_program(), {"x": np.ones(8)}, {"N": 8}, candidates=[])
+
+
+def test_autotune_skips_uncompilable_candidates():
+    n = 64
+    data = np.ones(n)
+    good = default_candidates(_program(), n, chunks=(32,))
+    from repro.ir.dsl import join, split, pipe
+
+    x = Param(ArrayType(FLOAT, Var("N")), "x")
+    broken = Candidate(
+        "pure-view (uncompilable)",
+        Lambda([x], pipe(x, split(8), join())),
+        (8, 1, 1),
+        (n, 1, 1),
+    )
+    results = autotune(
+        _program(), {"x": data}, {"N": n}, candidates=[broken] + good
+    )
+    assert all("uncompilable" not in r.candidate.label for r in results)
+    assert results

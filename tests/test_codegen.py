@@ -1,0 +1,332 @@
+"""Tests for OpenCL code generation: structure and, crucially, semantics.
+
+The differential-testing contract: for every program, the generated
+kernel executed on the simulated device must agree with the IR reference
+interpreter and with a NumPy oracle — at every optimization level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith import Var
+from repro.types import ArrayType, FLOAT, array
+from repro.ir.nodes import FunCall, Lambda, Param, UserFun
+from repro.ir.dsl import (
+    add,
+    compose,
+    f32,
+    gather,
+    get,
+    id_fun,
+    join,
+    lam,
+    lam2,
+    make_tuple,
+    map_glb,
+    map_lcl,
+    map_seq,
+    map_wrg,
+    mult,
+    reduce_seq,
+    scatter,
+    slide,
+    split,
+    to_global,
+    to_local,
+    transpose,
+    zip_,
+)
+from repro.ir.patterns import transpose_indices
+from repro.compiler.codegen import CodeGenError, compile_kernel
+from repro.compiler.kernel import compile_and_run
+from repro.compiler.options import CompilerOptions
+
+from tests.programs import partial_dot, simple_map_add_one
+
+ALL_LEVELS = [
+    CompilerOptions.none,
+    CompilerOptions.barrier_cf,
+    CompilerOptions.all,
+]
+
+
+class TestKernelStructure:
+    def test_simple_map_source(self):
+        k = compile_kernel(simple_map_add_one())
+        assert "kernel void KERNEL" in k.source
+        assert "get_global_id(0)" in k.source
+        assert "plusOne" in k.source
+
+    def test_dot_product_matches_figure7_structure(self):
+        k = compile_kernel(partial_dot(), CompilerOptions(local_size=(64, 1, 1)))
+        src = k.source
+        # work-group loop with stride (Figure 7 line 7)
+        assert "get_group_id(0)" in src and "get_num_groups(0)" in src
+        # double buffering with pointer swap (lines 17-28)
+        assert "local float *" in src
+        # control-flow simplified guard (lines 20, 30)
+        assert "if (" in src
+        # barriers present (lines 16, 25, 29)
+        assert src.count("barrier(") >= 3
+        # simplified global access of section 5.3
+        assert "128 * wg_id" in src
+
+    def test_layout_patterns_emit_no_code(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        prog = Lambda([x], compose(join(), map_glb(map_seq(id_fun())), split(4))(x))
+        k = compile_kernel(prog)
+        assert "split" not in k.source and "join" not in k.source
+
+    def test_unoptimized_kernel_has_no_if_simplification(self):
+        k_all = compile_kernel(partial_dot(), CompilerOptions(local_size=(64, 1, 1)))
+        k_none = compile_kernel(
+            partial_dot(), CompilerOptions.none(local_size=(64, 1, 1))
+        )
+        # without CF simplification every map is a loop
+        assert k_none.source.count("for (") > k_all.source.count("for (")
+        # without barrier elimination at least as many barriers
+        assert k_none.source.count("barrier(") >= k_all.source.count("barrier(")
+
+    def test_high_level_patterns_rejected(self):
+        from repro.ir.dsl import map_
+
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        prog = Lambda([x], map_(id_fun())(x))
+        with pytest.raises(CodeGenError):
+            compile_kernel(prog)
+
+    def test_pure_view_program_rejected(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        prog = Lambda([x], compose(join(), split(4))(x))
+        with pytest.raises(CodeGenError):
+            compile_kernel(prog)
+
+
+@pytest.mark.parametrize("level", ALL_LEVELS, ids=["none", "barrier_cf", "all"])
+class TestSemanticsAtEveryLevel:
+    """Generated code must be correct with and without optimizations."""
+
+    def test_map_glb(self, level):
+        n = 64
+        prog = simple_map_add_one()
+        x = np.arange(n, dtype=float)
+        result = compile_and_run(
+            prog, {"x": x}, {"N": n}, global_size=n,
+            options=level(local_size=(16, 1, 1)),
+        )
+        np.testing.assert_allclose(result.output, x + 1)
+
+    def test_partial_dot_listing1(self, level):
+        n = 512
+        rng = np.random.default_rng(42)
+        x = rng.random(n)
+        y = rng.random(n)
+        result = compile_and_run(
+            partial_dot(), {"x": x, "y": y}, {"N": n},
+            global_size=128, options=level(local_size=(64, 1, 1)),
+        )
+        expected = (x * y).reshape(-1, 128).sum(axis=1)
+        np.testing.assert_allclose(result.output, expected, rtol=1e-12)
+
+    def test_zip_mult(self, level):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        y = Param(ArrayType(FLOAT, n), "y")
+        m = mult()
+        body = map_glb(lam(lambda xy: FunCall(m, [get(xy, 0), get(xy, 1)])))(
+            zip_(x, y)
+        )
+        prog = Lambda([x, y], body)
+        xs = np.arange(32, dtype=float)
+        ys = np.arange(32, dtype=float) + 1
+        result = compile_and_run(
+            prog, {"x": xs, "y": ys}, {"N": 32}, global_size=32,
+            options=level(local_size=(8, 1, 1)),
+        )
+        np.testing.assert_allclose(result.output, xs * ys)
+
+    def test_gather_transpose_composition(self, level):
+        """The paper's matrix transposition (section 5.3)."""
+        rows, cols = 8, 16
+        x = Param(array(FLOAT, rows, cols), "x")
+        body = compose(
+            map_wrg(map_lcl(id_fun())),
+            split(cols),
+            gather(transpose_indices(rows, cols)),
+            join(),
+        )(x)
+        prog = Lambda([x], body)
+        data = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+        result = compile_and_run(
+            prog, {"x": data}, {}, global_size=rows * 8,
+            options=level(local_size=(8, 1, 1)),
+        )
+        np.testing.assert_allclose(result.output.reshape(cols, rows), data.T)
+
+    def test_transpose_pattern(self, level):
+        rows, cols = 4, 8
+        x = Param(array(FLOAT, rows, cols), "x")
+        body = compose(
+            join(), map_wrg(map_lcl(id_fun())), transpose()
+        )(x)
+        prog = Lambda([x], body)
+        data = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+        result = compile_and_run(
+            prog, {"x": data}, {}, global_size=cols * 4,
+            options=level(local_size=(4, 1, 1)),
+        )
+        np.testing.assert_allclose(result.output.reshape(cols, rows), data.T)
+
+    def test_scatter_write_reorder(self, level):
+        n = 16
+        x = Param(ArrayType(FLOAT, n), "x")
+        from repro.ir.patterns import reverse_indices
+
+        body = scatter(reverse_indices())(map_glb(id_fun())(x))
+        prog = Lambda([x], body)
+        data = np.arange(n, dtype=float)
+        result = compile_and_run(
+            prog, {"x": data}, {}, global_size=n,
+            options=level(local_size=(4, 1, 1)),
+        )
+        np.testing.assert_allclose(result.output, data[::-1])
+
+    def test_slide_stencil(self, level):
+        """mapGlb(reduceSeq(add, 0)) o slide(3, 1): 3-point stencil."""
+        n = 18
+        x = Param(ArrayType(FLOAT, n), "x")
+        body = compose(
+            join(),
+            map_glb(reduce_seq(add(), f32(0.0))),
+            slide(3, 1),
+        )(x)
+        prog = Lambda([x], body)
+        data = np.arange(n, dtype=float)
+        result = compile_and_run(
+            prog, {"x": data}, {}, global_size=16,
+            options=level(local_size=(4, 1, 1)),
+        )
+        expected = data[:-2] + data[1:-1] + data[2:]
+        np.testing.assert_allclose(result.output, expected)
+
+    def test_local_memory_staging(self, level):
+        """toLocal copy then compute, work-group wise."""
+        n = 64
+        x = Param(ArrayType(FLOAT, n), "x")
+        plus_one = UserFun(
+            "plusOne", ["v"], "return v + 1.0f;", [FLOAT], FLOAT,
+            py=lambda v: v + 1.0,
+        )
+        work_group = compose(
+            to_global(map_lcl(plus_one)),
+            to_local(map_lcl(id_fun())),
+        )
+        body = compose(join(), map_wrg(work_group), split(16))(x)
+        prog = Lambda([x], body)
+        data = np.arange(n, dtype=float)
+        result = compile_and_run(
+            prog, {"x": data}, {}, global_size=n,
+            options=level(local_size=(16, 1, 1)),
+        )
+        np.testing.assert_allclose(result.output, data + 1)
+
+    def test_tuple_accumulator_reduction(self, level):
+        """argmin via a (value, index) tuple accumulator — K-Means style."""
+        from repro.types import INT, TupleType
+
+        n = 16
+        x = Param(ArrayType(FLOAT, n), "x")
+        acc_t = TupleType([FLOAT, FLOAT])
+        take_min = UserFun(
+            "takeMin",
+            ["acc", "v"],
+            "if (v < acc._0) { acc._0 = v; } acc._1 = acc._1 + 1.0f; return acc;",
+            [acc_t, FLOAT],
+            acc_t,
+        )
+        body = compose(
+            join(),
+            map_glb(
+                lam(
+                    lambda chunk: FunCall(
+                        map_seq(
+                            UserFun(
+                                "fst", ["t"], "return t._0;", [acc_t], FLOAT,
+                                py=lambda t: t[0],
+                            )
+                        ),
+                        [
+                            FunCall(
+                                __import__("repro.ir.patterns", fromlist=["ReduceSeq"]).ReduceSeq(take_min),
+                                [make_tuple(f32(1e30), f32(0.0)), chunk],
+                            )
+                        ],
+                    )
+                )
+            ),
+            split(4),
+        )(x)
+        prog = Lambda([x], body)
+        data = np.asarray(
+            [4.0, 2.0, 7.0, 5.0, 1.0, 9.0, 0.5, 3.0, 8.0, 8.5, 2.5, 6.0,
+             11.0, 10.0, 12.0, 9.5]
+        )
+        result = compile_and_run(
+            prog, {"x": data}, {}, global_size=4,
+            options=level(local_size=(2, 1, 1)),
+        )
+        expected = data.reshape(-1, 4).min(axis=1)
+        np.testing.assert_allclose(result.output, expected)
+
+    def test_counters_change_with_optimization(self, level):
+        """Unoptimized kernels execute more int div/mod operations."""
+        n = 512
+        x = np.ones(n)
+        y = np.ones(n)
+        result = compile_and_run(
+            partial_dot(), {"x": x, "y": y}, {"N": n},
+            global_size=128, options=level(local_size=(64, 1, 1)),
+        )
+        assert result.counters.work_items == 128
+
+
+class TestVectorization:
+    def test_vectorized_map(self):
+        from repro.ir.dsl import as_scalar, as_vector
+
+        n = 32
+        x = Param(ArrayType(FLOAT, n), "x")
+        scale4 = UserFun(
+            "scale4", ["v"], "return v * 2.0f;",
+            [array and __import__("repro.types", fromlist=["VectorType"]).VectorType(FLOAT, 4)],
+            __import__("repro.types", fromlist=["VectorType"]).VectorType(FLOAT, 4),
+        )
+        body = compose(
+            as_scalar(),
+            map_glb(scale4),
+            as_vector(4),
+        )(x)
+        prog = Lambda([x], body)
+        data = np.arange(n, dtype=float)
+        result = compile_and_run(
+            prog, {"x": data}, {}, global_size=8,
+            options=CompilerOptions(local_size=(4, 1, 1)),
+        )
+        np.testing.assert_allclose(result.output, data * 2)
+
+    def test_vload_in_source(self):
+        from repro.ir.dsl import as_scalar, as_vector
+        from repro.types import VectorType
+
+        n = 32
+        x = Param(ArrayType(FLOAT, n), "x")
+        scale4 = UserFun(
+            "scale4", ["v"], "return v * 2.0f;",
+            [VectorType(FLOAT, 4)], VectorType(FLOAT, 4),
+        )
+        prog = Lambda([x], compose(as_scalar(), map_glb(scale4), as_vector(4))(x))
+        k = compile_kernel(prog)
+        assert "vload4" in k.source and "vstore4" in k.source

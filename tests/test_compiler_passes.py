@@ -1,0 +1,287 @@
+"""Unit tests for the individual compiler passes.
+
+The view-consumption tests mirror the paper's Figure 5 step by step; the
+address-space tests exercise Algorithm 1's cases; the barrier tests check
+the section 5.4 rules.
+"""
+
+import pytest
+
+from repro.arith import Cst, Range, Var, simplify
+from repro.types import ArrayType, FLOAT, TupleType, array
+from repro.ir.nodes import AddressSpace, FunCall, Lambda, Literal, Param
+from repro.ir.dsl import (
+    add,
+    compose,
+    f32,
+    get,
+    id_fun,
+    join,
+    lam,
+    map_lcl,
+    map_seq,
+    map_wrg,
+    reduce_seq,
+    split,
+    to_global,
+    to_local,
+    to_private,
+    zip_,
+)
+from repro.ir.typecheck import infer_types
+from repro.ir.patterns import reverse_indices
+from repro.compiler.address_space import infer_address_spaces
+from repro.compiler.barriers import find_removable_barriers
+from repro.compiler.memory import Memory, MemoryAllocator, scalar_layout
+from repro.compiler.views import (
+    Access,
+    ArrayAccessView,
+    GatherView,
+    JoinView,
+    MemView,
+    ScatterView,
+    SlideView,
+    SplitView,
+    TransposeView,
+    TupleAccessView,
+    ViewConsumptionError,
+    ZipView,
+    consume,
+)
+from repro.types import VectorType
+
+
+def mem(name="x", t=None, space=AddressSpace.GLOBAL):
+    t = t if t is not None else ArrayType(FLOAT, Var("N"))
+    scalar, count = scalar_layout(t)
+    return Memory(name, space, scalar, count, t)
+
+
+class TestFigure5Walkthrough:
+    """The exact walk of the paper's Figure 5: the first access of the
+    dot-product example, x[2*l_id + 128*wg_id + i]."""
+
+    def test_dot_product_access(self):
+        n = Var("N")
+        x_mem = mem("x")
+        y_mem = mem("y")
+        wg_id = Var("wg_id", Range.of(0, n // 128))
+        l_id = Var("l_id", Range.of(0, 64))
+        i = Var("i", Range.of(0, 2))
+
+        base = ZipView(
+            (MemView(x_mem, ArrayType(FLOAT, n)), MemView(y_mem, ArrayType(FLOAT, n)))
+        )
+        split128 = SplitView(base, Cst(128))
+        chunk = ArrayAccessView(split128, wg_id)
+        split2 = SplitView(chunk, Cst(2))
+        pair_row = ArrayAccessView(split2, l_id)
+        elem = ArrayAccessView(pair_row, i)
+        first = TupleAccessView(elem, 0)
+
+        access = consume(first)
+        assert access.memory is x_mem
+        expected = simplify(Cst(2) * l_id + Cst(128) * wg_id + i)
+        assert simplify(access.index) == expected
+
+    def test_second_zip_component_reaches_y(self):
+        n = Var("N")
+        x_mem, y_mem = mem("x"), mem("y")
+        base = ZipView(
+            (MemView(x_mem, ArrayType(FLOAT, n)), MemView(y_mem, ArrayType(FLOAT, n)))
+        )
+        i = Var("i", Range.of(0, n))
+        access = consume(TupleAccessView(ArrayAccessView(base, i), 1))
+        assert access.memory is y_mem
+
+
+class TestViewAlgebra:
+    def test_split_then_join_is_identity(self):
+        n = Var("N")
+        m = mem()
+        i = Var("i", Range.of(0, n))
+        v = JoinView(SplitView(MemView(m, ArrayType(FLOAT, n)), Cst(8)), Cst(8))
+        access = consume(ArrayAccessView(v, i))
+        assert simplify(access.index) == i
+
+    def test_transpose_swaps_indices(self):
+        m = mem("a", array(FLOAT, 4, 8))
+        r = Var("r", Range.of(0, 8))
+        c_ = Var("c", Range.of(0, 4))
+        v = TransposeView(MemView(m, array(FLOAT, 4, 8)))
+        access = consume(ArrayAccessView(ArrayAccessView(v, r), c_))
+        # transposed[r][c] = a[c][r] -> flat c*8 + r
+        assert simplify(access.index) == simplify(c_ * 8 + r)
+
+    def test_gather_applies_index_function(self):
+        m = mem("x", ArrayType(FLOAT, 16))
+        i = Var("i", Range.of(0, 16))
+        v = GatherView(MemView(m, ArrayType(FLOAT, 16)), reverse_indices(), Cst(16))
+        access = consume(ArrayAccessView(v, i))
+        assert simplify(access.index) == simplify(Cst(15) - i)
+
+    def test_slide_window_indexing(self):
+        m = mem("x", ArrayType(FLOAT, 16))
+        w = Var("w", Range.of(0, 14))
+        e = Var("e", Range.of(0, 3))
+        v = SlideView(MemView(m, ArrayType(FLOAT, 16)), Cst(3), Cst(1))
+        access = consume(ArrayAccessView(ArrayAccessView(v, w), e))
+        assert simplify(access.index) == simplify(w + e)
+
+    def test_vector_element_width_scales_index(self):
+        f4 = VectorType(FLOAT, 4)
+        m = mem("p", ArrayType(f4, 8))
+        i = Var("i", Range.of(0, 8))
+        access = consume(ArrayAccessView(MemView(m, ArrayType(f4, 8)), i))
+        assert simplify(access.index) == simplify(i * 4)
+
+    def test_missing_tuple_selection_raises(self):
+        m = mem()
+        v = ZipView((MemView(m, ArrayType(FLOAT, 4)),) * 2)
+        with pytest.raises(ViewConsumptionError):
+            consume(ArrayAccessView(v, Cst(0)))
+
+    def test_too_few_indices_raises(self):
+        m = mem("a", array(FLOAT, 4, 8))
+        with pytest.raises(ViewConsumptionError):
+            consume(ArrayAccessView(MemView(m, array(FLOAT, 4, 8)), Cst(0)))
+
+    def test_private_memory_drops_parallel_indices(self):
+        m = mem("acc", FLOAT, AddressSpace.PRIVATE)
+        l_id = Var("l_id", Range.of(0, 64))
+        access = consume(ArrayAccessView(MemView(m, FLOAT), l_id))
+        assert simplify(access.index) == Cst(0)
+
+
+class TestAddressSpaceInference:
+    """Algorithm 1's cases."""
+
+    def _infer(self, fun):
+        infer_types(fun.body)
+        infer_address_spaces(fun)
+        return fun
+
+    def test_array_params_are_global(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        fun = self._infer(Lambda([x], map_seq(id_fun())(x)))
+        assert x.addr_space == AddressSpace.GLOBAL
+
+    def test_scalar_params_are_private(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        s = Param(FLOAT, "s")
+        fun = self._infer(Lambda([x, s], map_seq(id_fun())(x)))
+        assert s.addr_space == AddressSpace.PRIVATE
+
+    def test_to_local_sets_local(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        body = to_local(map_lcl(id_fun()))(x)
+        self._infer(Lambda([x], body))
+        assert body.addr_space == AddressSpace.LOCAL
+
+    def test_to_private_sets_private(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        body = to_private(map_seq(id_fun()))(x)
+        self._infer(Lambda([x], body))
+        assert body.addr_space == AddressSpace.PRIVATE
+
+    def test_reduce_takes_initializer_space(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        body = reduce_seq(add(), f32(0.0))(x)
+        self._infer(Lambda([x], body))
+        # literal initializer -> private accumulator (Algorithm 1 line 22)
+        assert body.addr_space == AddressSpace.PRIVATE
+
+    def test_literals_are_private(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        init = f32(0.0)
+        body = FunCall(reduce_seq(add(), init).body.f, [init, x]) if False else None
+        fun = Lambda([x], reduce_seq(add(), init)(x))
+        self._infer(fun)
+        assert init.addr_space == AddressSpace.PRIVATE
+
+    def test_layout_patterns_keep_arg_space(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        body = join()(split(4)(x))
+        fun = Lambda([x], map_seq(id_fun())(body))
+        self._infer(fun)
+        assert body.addr_space == AddressSpace.GLOBAL
+
+
+class TestBarrierElimination:
+    def _analyze(self, body):
+        infer_types(body)
+        return find_removable_barriers(body)
+
+    def test_consecutive_elementwise_maplcl_removable(self):
+        x = Param(ArrayType(FLOAT, 64), "x")
+        first = to_local(map_lcl(id_fun()))(x)
+        second = to_global(map_lcl(id_fun()))(first)
+        removable = self._analyze(second)
+        assert id(first) in removable
+
+    def test_layout_pattern_between_forces_barrier(self):
+        x = Param(ArrayType(FLOAT, 64), "x")
+        first = to_local(map_lcl(id_fun()))(x)
+        reordered = join()(split(8)(first))
+        second = to_global(map_lcl(id_fun()))(reordered)
+        removable = self._analyze(second)
+        assert id(first) not in removable
+
+    def test_zip_branches_keep_only_one_barrier(self):
+        x = Param(ArrayType(FLOAT, 64), "x")
+        y = Param(ArrayType(FLOAT, 64), "y")
+        a = to_local(map_lcl(id_fun()))(x)
+        b = to_local(map_lcl(id_fun()))(y)
+        zipped = zip_(a, b)
+        removable = self._analyze(zipped)
+        assert (id(a) in removable) != (id(b) in removable)
+
+    def test_dot_product_keeps_its_barriers(self):
+        from tests.programs import partial_dot
+
+        prog = partial_dot()
+        infer_types(prog.body)
+        removable = find_removable_barriers(prog.body)
+        # Figure 7 keeps every barrier of the dot product.
+        assert not removable
+
+
+class TestMemoryAllocator:
+    def test_unique_names(self):
+        alloc = MemoryAllocator()
+        a = alloc.alloc(ArrayType(FLOAT, 8), AddressSpace.LOCAL)
+        b = alloc.alloc(ArrayType(FLOAT, 8), AddressSpace.LOCAL)
+        assert a.name != b.name
+
+    def test_scalar_layout_of_nested_array(self):
+        scalar, count = scalar_layout(array(FLOAT, 4, 8))
+        assert scalar == FLOAT
+        assert simplify(count) == Cst(32)
+
+    def test_vector_layout(self):
+        scalar, count = scalar_layout(ArrayType(VectorType(FLOAT, 4), 8))
+        assert scalar == FLOAT
+        assert simplify(count) == Cst(32)
+
+    def test_tuple_register(self):
+        alloc = MemoryAllocator()
+        t = TupleType([FLOAT, FLOAT])
+        m = alloc.alloc(t, AddressSpace.PRIVATE)
+        assert m.logical_type == t
+
+    def test_tuple_array_rejected_outside_private(self):
+        alloc = MemoryAllocator()
+        with pytest.raises(NotImplementedError):
+            alloc.alloc(TupleType([FLOAT, FLOAT]), AddressSpace.LOCAL)
+
+    def test_param_memory(self):
+        m = MemoryAllocator.for_param("x", ArrayType(FLOAT, 16), AddressSpace.GLOBAL)
+        assert m.is_param
+        assert m.concrete_count() == 16

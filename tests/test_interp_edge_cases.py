@@ -1,0 +1,184 @@
+"""Edge-case tests for the OpenCL interpreter and cost model."""
+
+import numpy as np
+import pytest
+
+from repro.opencl import Buffer, Counters, OpenCLProgram, launch
+from repro.opencl.cost import DEVICES, DeviceProfile, estimate_cycles
+from repro.opencl.interp import ExecError, Pointer, _c_int_div, _c_int_mod
+
+
+def run(source, global_size, local_size, **args):
+    return launch(OpenCLProgram(source), global_size, local_size, args)
+
+
+class TestCSemantics:
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (-7, -2, 3, -1)],
+    )
+    def test_truncating_division(self, a, b, q, r):
+        assert _c_int_div(a, b) == q
+        assert _c_int_mod(a, b) == r
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecError):
+            _c_int_div(1, 0)
+
+    def test_struct_passed_by_value(self):
+        src = """
+        typedef struct { float _0; float _1; } T2;
+        T2 bump(T2 t) { t._0 = t._0 + 1.0f; return t; }
+        kernel void K(global float *out) {
+          T2 a;
+          a._0 = 5.0f; a._1 = 0.0f;
+          T2 b = bump(a);
+          out[0] = a._0;
+          out[1] = b._0;
+        }
+        """
+        out = Buffer.zeros(2)
+        run(src, 1, 1, out=out)
+        assert out.data[0] == 5.0  # caller's struct untouched
+        assert out.data[1] == 6.0
+
+    def test_vector_passed_by_value(self):
+        src = """
+        float4 bump(float4 v) { v.x = v.x + 1.0f; return v; }
+        kernel void K(global float *out) {
+          float4 a = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+          float4 b = bump(a);
+          out[0] = a.x;
+          out[1] = b.x;
+        }
+        """
+        out = Buffer.zeros(2)
+        run(src, 1, 1, out=out)
+        assert list(out.data) == [1.0, 2.0]
+
+    def test_vector_swizzle_members(self):
+        src = """
+        kernel void K(global float *out) {
+          float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+          out[0] = v.x + v.y + v.z + v.w;
+          out[1] = v.s0 + v.s3;
+        }
+        """
+        out = Buffer.zeros(2)
+        run(src, 1, 1, out=out)
+        assert list(out.data) == [10.0, 5.0]
+
+    def test_vector_broadcast_literal(self):
+        src = """
+        kernel void K(global float *out) {
+          float4 v = (float4)(2.0f);
+          vstore4(v, 0, out);
+        }
+        """
+        out = Buffer.zeros(4)
+        run(src, 1, 1, out=out)
+        assert list(out.data) == [2.0] * 4
+
+    def test_early_return_in_kernel(self):
+        src = """
+        kernel void K(global float *out, int n) {
+          int i = get_global_id(0);
+          if (i >= n) { return; }
+          out[i] = 1.0f;
+        }
+        """
+        out = Buffer.zeros(8)
+        run(src, 8, 4, out=out, n=5)
+        assert list(out.data) == [1.0] * 5 + [0.0] * 3
+
+    def test_ternary_expression(self):
+        src = """
+        kernel void K(global float *out) {
+          int i = get_global_id(0);
+          out[i] = (i < 2) ? 1.0f : 0.0f;
+        }
+        """
+        out = Buffer.zeros(4)
+        run(src, 4, 2, out=out)
+        assert list(out.data) == [1.0, 1.0, 0.0, 0.0]
+
+    def test_logical_short_circuit(self):
+        # The second operand would divide by zero if evaluated.
+        src = """
+        kernel void K(global int *out, int z) {
+          int i = get_global_id(0);
+          if (z > 0 && (i / z) > 100) { out[i] = 1; }
+          else { out[i] = 2; }
+        }
+        """
+        out = Buffer.zeros(2, "int")
+        run(src, 2, 1, out=out, z=0)
+        assert list(out.data) == [2, 2]
+
+
+class TestPointerSemantics:
+    def test_pointer_offsets(self):
+        p = Pointer(np.arange(10, dtype=float), 2, "global")
+        assert p.load(1) == 3.0
+        q = p.plus(3)
+        assert q.load(0) == 5.0
+
+    def test_pointer_arithmetic_in_kernel(self):
+        src = """
+        kernel void K(const global float * restrict x, global float *out, int n) {
+          int row = get_global_id(0);
+          float4 v = vload4(0, x + row * 4);
+          vstore4(v, row, out);
+        }
+        """
+        data = np.arange(16, dtype=float)
+        out = Buffer.zeros(16)
+        run(src, 4, 2, x=Buffer.from_array(data), out=out, n=4)
+        np.testing.assert_allclose(out.data, data)
+
+
+class TestLoadCaching:
+    def test_repeat_load_is_cached(self):
+        src = """
+        kernel void K(const global float * restrict x, global float *out) {
+          float s = 0.0f;
+          for (int i = 0; i < 4; i += 1) { s = s + x[0]; }
+          out[0] = s;
+        }
+        """
+        counters = run(src, 1, 1, x=Buffer.from_array([2.0]), out=Buffer.zeros(1))
+        assert counters.global_loads == 1
+        assert counters.cached_loads == 3
+
+    def test_caches_are_per_work_item(self):
+        src = """
+        kernel void K(const global float * restrict x, global float *out) {
+          out[get_global_id(0)] = x[0];
+        }
+        """
+        counters = run(src, 4, 2, x=Buffer.from_array([1.0]), out=Buffer.zeros(4))
+        # every work-item pays its own first load
+        assert counters.global_loads == 4
+        assert counters.cached_loads == 0
+
+
+class TestCostModel:
+    def test_profiles_have_all_weights(self):
+        for profile in DEVICES.values():
+            assert profile.global_access > profile.local_access
+            assert profile.idivmod > profile.idivmod_const
+            assert profile.flop > 0
+
+    def test_estimate_is_monotone_in_counters(self):
+        base = Counters(flops=10)
+        more = Counters(flops=10, global_loads=100)
+        for profile in DEVICES.values():
+            assert estimate_cycles(more, profile) > estimate_cycles(base, profile)
+
+    def test_counters_merge(self):
+        a = Counters(flops=1, barriers=2)
+        b = Counters(flops=3, iops=4)
+        merged = a.merged_with(b)
+        assert merged.flops == 4
+        assert merged.barriers == 2
+        assert merged.iops == 4

@@ -1,0 +1,155 @@
+"""Tests for the IL pretty-printer and the C AST printer."""
+
+import pytest
+
+from repro.arith import Var
+from repro.types import ArrayType, FLOAT
+from repro.ir.nodes import Lambda, Param
+from repro.ir.dsl import (
+    add,
+    as_scalar,
+    as_vector,
+    compose,
+    f32,
+    gather,
+    id_fun,
+    iterate,
+    join,
+    map_lcl,
+    map_seq,
+    map_seq_unroll,
+    map_wrg,
+    reduce_seq,
+    reduce_seq_unroll,
+    scatter,
+    slide,
+    split,
+    to_global,
+    to_local,
+    transpose,
+)
+from repro.ir.patterns import reverse_indices
+from repro.ir.printer import print_decl, print_expr, program_lines
+from repro.compiler import cast as c
+
+from tests.programs import partial_dot
+
+
+class TestILPrinter:
+    def test_listing1_mentions_every_pattern(self):
+        text = print_decl(partial_dot())
+        for token in ("mapWrg", "mapLcl", "mapSeq", "reduceSeq", "iterate",
+                      "split", "join", "toLocal", "toGlobal", "zip"):
+            assert token in text, f"missing {token}"
+
+    def test_layout_patterns_print_compactly(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        f = compose(
+            join(), gather(reverse_indices()), scatter(reverse_indices()),
+            transpose(), slide(3, 1), as_scalar(), as_vector(4), split(8),
+        )
+        text = print_decl(Lambda([x], f(x)))
+        for token in ("join", "gather", "scatter", "transpose", "slide",
+                      "asScalar", "asVector4", "split8"):
+            assert token in text
+
+    def test_unroll_variants_distinct(self):
+        assert "mapSeqUnroll" in print_decl(map_seq_unroll(id_fun()))
+        assert "reduceSeqUnroll" in print_decl(
+            reduce_seq_unroll(add(), f32(0.0))
+        )
+
+    def test_program_lines_counts_something(self):
+        assert program_lines(partial_dot()) >= 8
+
+    def test_print_expr_param(self):
+        p = Param(FLOAT, "v")
+        assert print_expr(p).strip() == "v"
+
+
+class TestCASTPrinter:
+    def test_expression_precedence(self):
+        e = c.CBinOp("*", c.CBinOp("+", c.CIdent("a"), c.CIdent("b")),
+                     c.CIdent("d"))
+        assert c.print_expr(e) == "(a + b) * d"
+
+    def test_no_redundant_parens(self):
+        e = c.CBinOp("+", c.CBinOp("*", c.CIdent("a"), c.CIdent("b")),
+                     c.CIdent("d"))
+        assert c.print_expr(e) == "a * b + d"
+
+    def test_index_and_member(self):
+        e = c.CMember(c.CIndex(c.CIdent("xs"), c.CInt(3)), "x")
+        assert c.print_expr(e) == "xs[3].x"
+
+    def test_float_literal_suffix(self):
+        assert c.print_expr(c.CFloat(0.5)).endswith("f")
+
+    def test_vector_literal(self):
+        e = c.CVectorLiteral("float2", [c.CFloat(1.0), c.CFloat(2.0)])
+        assert c.print_expr(e) == "((float2)(1.0f, 2.0f))"
+
+    def test_for_statement(self):
+        body = c.CBlock([c.CAssign(c.CIdent("s"), c.CIdent("i"), "+=")])
+        loop = c.CFor(
+            c.CDecl("int", "i", init=c.CInt(0)),
+            c.CBinOp("<", c.CIdent("i"), c.CInt(4)),
+            c.CAssign(c.CIdent("i"), c.CInt(1), "+="),
+            body,
+        )
+        text = c.print_stmt(loop)
+        assert text.startswith("for (int i = 0; i < 4; i += 1) {")
+        assert "s += i;" in text
+
+    def test_if_else(self):
+        stmt = c.CIf(
+            c.CBinOp("<", c.CIdent("i"), c.CInt(2)),
+            c.CBlock([c.CReturn(c.CInt(1))]),
+            c.CBlock([c.CReturn(c.CInt(0))]),
+        )
+        text = c.print_stmt(stmt)
+        assert "else {" in text
+
+    def test_local_decl_keeps_qualifier(self):
+        decl = c.CDecl("float", "tmp", qualifier="local", array_size=64)
+        assert c.print_stmt(decl) == "local float tmp[64];"
+
+    def test_private_qualifier_dropped(self):
+        decl = c.CDecl("float", "acc", qualifier="private")
+        assert c.print_stmt(decl) == "float acc;"
+
+    def test_barrier(self):
+        assert c.print_stmt(c.CBarrier()) == "barrier(CLK_LOCAL_MEM_FENCE);"
+
+    def test_kernel_signature(self):
+        fn = c.CFunctionDef(
+            "void", "K",
+            [c.CParam("float", "x", ("const", "global"), True, True),
+             c.CParam("int", "n")],
+            c.CBlock([]),
+            is_kernel=True,
+        )
+        text = c.print_function(fn)
+        assert text.startswith("kernel void K(")
+        assert "const global float *" in text
+        assert "restrict x" in text
+
+    def test_roundtrip_through_parser(self):
+        """Printed programs parse back to the same structure."""
+        from repro.opencl.cparser import parse
+
+        fn = c.CFunctionDef(
+            "void", "K",
+            [c.CParam("float", "x", ("global",), True)],
+            c.CBlock([
+                c.CDecl("int", "i", init=c.CCall("get_global_id", [c.CInt(0)])),
+                c.CAssign(c.CIndex(c.CIdent("x"), c.CIdent("i")),
+                          c.CFloat(1.0)),
+            ]),
+            is_kernel=True,
+        )
+        program = parse(c.print_function(fn))
+        assert program.kernels == ["K"]
+        parsed = program.functions["K"]
+        assert len(parsed.body.stmts) == 2
