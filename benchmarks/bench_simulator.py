@@ -1,9 +1,13 @@
 """Simulated-device throughput: the execution substrate's own speed.
 
-Tracks how many work-items per second the NDRange interpreter executes
-for a representative kernel — useful for sizing future experiments.
+Tracks how many work-items per second the NDRange simulator executes for
+representative kernels — useful for sizing future experiments.  Each
+benchmark is parametrized over the execution engine so the lane-batched
+SIMT engine's speedup over the per-work-item scalar interpreter is
+tracked as a first-class number (baseline: ``BENCH_simulator.json``).
 """
 
+import pytest
 import numpy as np
 
 from repro.opencl import Buffer, OpenCLProgram, launch
@@ -31,8 +35,11 @@ kernel void REDUCE(const global float * restrict x, global float *out) {
 }
 """
 
+ENGINES = ("scalar", "vector")
 
-def test_simulator_saxpy_throughput(benchmark):
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_simulator_saxpy_throughput(benchmark, engine):
     n = 4096
     program = OpenCLProgram(_SAXPY)
     x = Buffer.from_array(np.arange(n, dtype=float))
@@ -41,22 +48,45 @@ def test_simulator_saxpy_throughput(benchmark):
     def run():
         out = Buffer.zeros(n)
         launch(program, n, 64,
-               {"x": x, "y": y, "out": out, "a": 2.0, "n": n})
+               {"x": x, "y": y, "out": out, "a": 2.0, "n": n},
+               engine=engine)
         return out
 
     out = benchmark(run)
+    benchmark.extra_info["work_items"] = n
     np.testing.assert_allclose(out.data, 2.0 * np.arange(n) + 1)
 
 
-def test_simulator_barrier_lockstep_throughput(benchmark):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_simulator_barrier_lockstep_throughput(benchmark, engine):
     n = 1024
     program = OpenCLProgram(_REDUCTION)
     x = Buffer.from_array(np.ones(n))
 
     def run():
         out = Buffer.zeros(n // 64)
-        launch(program, n, 64, {"x": x, "out": out})
+        launch(program, n, 64, {"x": x, "out": out}, engine=engine)
         return out
 
     out = benchmark(run)
+    benchmark.extra_info["work_items"] = n
     np.testing.assert_allclose(out.data, 64.0)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_simulator_engines_agree(engine, tmp_path):
+    """Both engines produce identical buffers and counters (sanity tie-in
+    for the throughput numbers above; the exhaustive check lives in
+    tests/test_simt.py)."""
+    n = 1024
+    program = OpenCLProgram(_SAXPY)
+    x = Buffer.from_array(np.arange(n, dtype=float))
+    y = Buffer.from_array(np.ones(n))
+    out = Buffer.zeros(n)
+    counters = launch(
+        program, n, 64, {"x": x, "y": y, "out": out, "a": 3.0, "n": n},
+        engine=engine,
+    )
+    np.testing.assert_array_equal(out.data, 3.0 * np.arange(n) + 1)
+    assert counters.global_loads == 2 * n
+    assert counters.global_stores == n

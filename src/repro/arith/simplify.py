@@ -24,6 +24,7 @@ a generic C compiler lacks (the paper's matrix-transposition example).
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Iterable, Sequence
 
 from repro.arith.expr import (
@@ -48,6 +49,61 @@ ONE = Cst(1)
 # otherwise proofs could recurse without end.
 _proof_depth = 0
 _MAX_PROOF_DEPTH = 6
+
+
+# ---------------------------------------------------------------------------
+# memoization
+# ---------------------------------------------------------------------------
+#
+# The compiler re-simplifies identical view-index expressions many times
+# per kernel, and ``prove_lt`` re-discharges the same bounds proofs.
+# Both are pure functions of the expression *structure plus the ranges of
+# every variable in it* — ``Var.__eq__`` deliberately ignores ranges, so
+# the cache key must fold them in explicitly.  Results computed under a
+# non-zero proof depth are *not* cached (they may have been cut short by
+# the depth guard).
+
+_SIMPLIFY_CACHE: "OrderedDict[tuple, ArithExpr]" = OrderedDict()
+_PROVE_LT_CACHE: "OrderedDict[tuple, bool]" = OrderedDict()
+_CACHE_SIZE = 4096
+
+
+def _cache_key(expr: ArithExpr, _depth: int = 0) -> tuple | None:
+    """Structural key including variable ranges; ``None`` when the
+    expression is too deeply nested to key cheaply."""
+    if _depth > 24:
+        return None
+    if isinstance(expr, Cst):
+        return ("c", expr.value)
+    if isinstance(expr, Var):
+        r = expr.range
+        lo = _cache_key(r.min, _depth + 1)
+        hi = None if r.max is None else _cache_key(r.max, _depth + 1)
+        if lo is None or (r.max is not None and hi is None):
+            return None
+        return ("v", expr.name, lo, hi)
+    if isinstance(expr, LoadIndex):
+        inner = _cache_key(expr.index, _depth + 1)
+        return None if inner is None else ("l", expr.memory_name, inner)
+    parts = []
+    for child in expr.children():
+        part = _cache_key(child, _depth + 1)
+        if part is None:
+            return None
+        parts.append(part)
+    return (type(expr).__name__, *parts)
+
+
+def _cache_put(cache: OrderedDict, key: tuple, value) -> None:
+    cache[key] = value
+    while len(cache) > _CACHE_SIZE:
+        cache.popitem(last=False)
+
+
+def clear_caches() -> None:
+    """Drop the memoized simplification and proof results."""
+    _SIMPLIFY_CACHE.clear()
+    _PROVE_LT_CACHE.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -386,7 +442,25 @@ def log2(arg: ArithExpr) -> ArithExpr:
 
 
 def simplify(expr: ArithExpr) -> ArithExpr:
-    """Fully re-simplify a (possibly raw) expression bottom-up."""
+    """Fully re-simplify a (possibly raw) expression bottom-up.
+
+    Top-level results (outside any bounds proof) are memoized on the
+    expression's structural key.
+    """
+    if _proof_depth == 0 and not isinstance(expr, (Cst, Var)):
+        key = _cache_key(expr)
+        if key is not None:
+            cached = _SIMPLIFY_CACHE.get(key)
+            if cached is not None:
+                _SIMPLIFY_CACHE.move_to_end(key)
+                return cached
+            result = _simplify_uncached(expr)
+            _cache_put(_SIMPLIFY_CACHE, key, result)
+            return result
+    return _simplify_uncached(expr)
+
+
+def _simplify_uncached(expr: ArithExpr) -> ArithExpr:
     if isinstance(expr, Var):
         # A variable whose logical range is [0, 1) is identically zero;
         # this is how the paper's Figure 7 writes z[wg_id] rather than
@@ -560,17 +634,32 @@ def prove_lt(a: ArithExpr, b: ArithExpr) -> bool:
     Proved by showing a lower bound of ``b - a`` is positive; the bound
     keeps variables symbolic where valid so that e.g. ``l_id < N`` holds
     for ``l_id`` in ``[0, N)`` even when ``N`` itself is unbounded.
+    Proof outcomes at depth zero are memoized (depth-limited inner
+    proofs may be cut short, so only the top level is cacheable).
     """
     global _proof_depth
     if _proof_depth >= _MAX_PROOF_DEPTH:
         return False
+    key = None
+    if _proof_depth == 0:
+        ka = _cache_key(a)
+        kb = _cache_key(b)
+        if ka is not None and kb is not None:
+            key = (ka, kb)
+            cached = _PROVE_LT_CACHE.get(key)
+            if cached is not None:
+                _PROVE_LT_CACHE.move_to_end(key)
+                return cached
     _proof_depth += 1
     try:
         diff = sub(b, a)
     finally:
         _proof_depth -= 1
     lo = _bound(diff, want_max=False, keep_vars=True)
-    return lo is not None and _is_positive(lo)
+    result = lo is not None and _is_positive(lo)
+    if key is not None:
+        _cache_put(_PROVE_LT_CACHE, key, result)
+    return result
 
 
 def _prove_in_range(x: ArithExpr, y: ArithExpr) -> bool:

@@ -80,7 +80,12 @@ class Benchmark:
         return self.make_inputs(size_env, rng), size_env
 
     # ------------------------------------------------------------------
-    def run_reference(self, inputs: dict, size_env: Mapping[str, int]) -> tuple:
+    def run_reference(
+        self,
+        inputs: dict,
+        size_env: Mapping[str, int],
+        engine: Optional[str] = None,
+    ) -> tuple:
         """Run the hand-written kernels; returns (output, counters)."""
         program = OpenCLProgram(self.reference_source)
         counters = Counters()
@@ -99,6 +104,7 @@ class Benchmark:
                 wrapped,
                 kernel_name=launch_spec.kernel,
                 counters=counters,
+                engine=engine,
             )
             out_buffer = wrapped[launch_spec.out_arg]
             assert isinstance(out_buffer, Buffer)
@@ -113,6 +119,7 @@ class Benchmark:
         inputs: dict,
         size_env: Mapping[str, int],
         options_factory: Callable[..., CompilerOptions] = CompilerOptions.all,
+        engine: Optional[str] = None,
     ) -> tuple:
         """Compile and run the low-level Lift stages; returns
         (output, counters)."""
@@ -136,22 +143,25 @@ class Benchmark:
                 stage.global_size(size_env),
                 local_size=stage.local_size,
                 counters=counters,
+                engine=engine,
             )
             prev = result.output
         assert prev is not None
         return prev, counters
 
     # ------------------------------------------------------------------
-    def verify(self, size: str = "small", seed: int = 7) -> None:
+    def verify(
+        self, size: str = "small", seed: int = 7, engine: Optional[str] = None
+    ) -> None:
         """Check reference and generated outputs against the oracle."""
         inputs, size_env = self.inputs_for(size, seed)
         expected = self.oracle(inputs, size_env)
-        ref_out, _ = self.run_reference(inputs, size_env)
+        ref_out, _ = self.run_reference(inputs, size_env, engine=engine)
         np.testing.assert_allclose(
             ref_out, expected, rtol=self.rtol, atol=1e-7,
             err_msg=f"{self.name}: reference kernel wrong",
         )
-        gen_out, _ = self.run_generated(inputs, size_env)
+        gen_out, _ = self.run_generated(inputs, size_env, engine=engine)
         np.testing.assert_allclose(
             gen_out, expected, rtol=self.rtol, atol=1e-7,
             err_msg=f"{self.name}: generated kernel wrong",

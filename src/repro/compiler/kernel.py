@@ -32,8 +32,13 @@ def execute_kernel(
     global_size,
     local_size=None,
     counters: Optional[Counters] = None,
+    engine: Optional[str] = None,
 ) -> RunResult:
-    """Run a compiled kernel on the simulated device."""
+    """Run a compiled kernel on the simulated device.
+
+    ``engine`` selects the execution engine (``"auto"``/``"vector"``/
+    ``"scalar"``, see :func:`repro.opencl.launch`).
+    """
     program = OpenCLProgram(compiled.source)
     args: dict[str, Any] = {}
     out_buffer: Optional[Buffer] = None
@@ -61,7 +66,7 @@ def execute_kernel(
         local_size = compiled.options.local_size
     counters = launch(
         program, global_size, local_size, args,
-        kernel_name=compiled.name, counters=counters,
+        kernel_name=compiled.name, counters=counters, engine=engine,
     )
     return RunResult(out_buffer.data.copy(), counters)
 
@@ -73,6 +78,9 @@ def compile_and_run(
     global_size,
     options: Optional[CompilerOptions] = None,
     local_size=None,
+    engine: Optional[str] = None,
 ) -> RunResult:
     compiled = compile_kernel(fun, options)
-    return execute_kernel(compiled, inputs, size_env, global_size, local_size)
+    return execute_kernel(
+        compiled, inputs, size_env, global_size, local_size, engine=engine
+    )

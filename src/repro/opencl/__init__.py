@@ -10,12 +10,15 @@ counters, and a cost model with per-device profiles.
 from repro.opencl.runtime import Buffer, OpenCLProgram, launch
 from repro.opencl.interp import Counters
 from repro.opencl.cost import DeviceProfile, estimate_cycles
+from repro.opencl.simt import VectorizationError, analyze_kernel
 
 __all__ = [
     "Buffer",
     "Counters",
     "DeviceProfile",
     "OpenCLProgram",
+    "VectorizationError",
+    "analyze_kernel",
     "estimate_cycles",
     "launch",
 ]

@@ -4,10 +4,23 @@ Work-groups execute sequentially (their relative order is unspecified in
 OpenCL, so any order is conforming); work-items within a group run in
 lock-step between barriers via the generator mechanism of
 :mod:`repro.opencl.interp`.
+
+Two execution engines back :func:`launch`:
+
+* ``"vector"`` — the lane-batched SIMT engine of
+  :mod:`repro.opencl.simt`, which executes each block of work-groups
+  once with numpy arrays over lanes;
+* ``"scalar"`` — the per-work-item reference interpreter.
+
+The default ``"auto"`` runs vectorizable kernels on the vector engine
+and falls back to the scalar path otherwise (including mid-launch, with
+buffer rollback).  ``REPRO_SIM_ENGINE`` overrides the default.
 """
 
 from __future__ import annotations
 
+import functools
+import os
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Sequence
 
@@ -15,6 +28,7 @@ import numpy as np
 
 from repro.compiler import cast as c
 from repro.opencl.cparser import ParsedProgram, parse
+from repro.opencl import simt
 from repro.opencl.interp import (
     BarrierDivergence,
     Counters,
@@ -45,12 +59,19 @@ class Buffer:
         return Buffer(arr.astype(np.float64).ravel())
 
 
+# Source-keyed LRU of parsed programs.  The autotuner and benchmark
+# harnesses construct :class:`OpenCLProgram` repeatedly for identical
+# kernels; the AST is immutable during execution, so sharing is safe
+# (and lets the vectorizability analysis cache per parse, too).
+_parse_cached = functools.lru_cache(maxsize=128)(parse)
+
+
 class OpenCLProgram:
     """A parsed OpenCL program with one or more kernels."""
 
     def __init__(self, source: str):
         self.source = source
-        self.parsed: ParsedProgram = parse(source)
+        self.parsed: ParsedProgram = _parse_cached(source)
         if not self.parsed.kernels:
             raise ValueError("program contains no kernel")
 
@@ -85,6 +106,13 @@ def _collect_local_decls(stmt: c.CStmt, out: list) -> None:
             _collect_local_decls(stmt.otherwise, out)
 
 
+def _resolve_engine(engine: Optional[str]) -> str:
+    engine = engine or os.environ.get("REPRO_SIM_ENGINE") or "auto"
+    if engine not in ("auto", "vector", "scalar"):
+        raise ValueError(f"unknown execution engine {engine!r}")
+    return engine
+
+
 def launch(
     program: OpenCLProgram,
     global_size,
@@ -92,6 +120,7 @@ def launch(
     args: Mapping[str, Any],
     kernel_name: Optional[str] = None,
     counters: Optional[Counters] = None,
+    engine: Optional[str] = None,
 ) -> Counters:
     """Execute a kernel over the NDRange; returns the counters."""
     kernel = program.kernel(kernel_name)
@@ -123,6 +152,21 @@ def launch(
 
     local_decls: list[c.CDecl] = []
     _collect_local_decls(kernel.body, local_decls)
+
+    resolved = _resolve_engine(engine)
+    if resolved != "scalar":
+        reason = simt.analyze_kernel(program.parsed, kernel)
+        if reason is None:
+            done = simt.try_launch(
+                program.parsed, kernel, gsize, lsize, base_env, local_decls,
+                counters, strict=(resolved == "vector"),
+            )
+            if done:
+                return counters
+        elif resolved == "vector":
+            raise simt.VectorizationError(
+                f"kernel {kernel.name!r} is not vectorizable: {reason}"
+            )
 
     num_groups = tuple(g // l for g, l in zip(gsize, lsize))
     items_per_group = lsize[0] * lsize[1] * lsize[2]

@@ -1,0 +1,1458 @@
+"""Lane-batched SIMT execution engine for the OpenCL simulator.
+
+The scalar interpreter in :mod:`repro.opencl.interp` walks the kernel AST
+once per work-item, which makes the Figure 8 runs and the autotuner's
+execute-and-rank loop interpreter-bound.  This module executes the kernel
+body *once per block of work-groups*, holding every scalar variable as a
+numpy array over lanes (one lane per work-item) and turning control flow
+into boolean lane masks:
+
+* ``if``      — both branches execute under complementary sub-masks; a
+  branch with no active lane is skipped entirely.
+* ``for`` / ``while`` — iterate while any lane is still active; a lane
+  whose condition fails (or that hit ``return``) drops out of the mask.
+* ``barrier`` — trivially satisfied: lanes execute in lock-step.  A
+  static analysis (:func:`analyze_kernel`) only admits kernels whose
+  barriers sit under *group-uniform* control flow, so within each
+  work-group the mask at a barrier is all-or-nothing, which is exactly
+  the OpenCL contract.
+* loads/stores — gathers and scatters (`numpy` fancy indexing); scatter
+  writes resolve duplicate addresses in ascending lane order, which is a
+  conforming behaviour for data-race-free kernels (the only ones whose
+  result OpenCL defines).
+
+The engine is an exact stand-in for the scalar path: it produces
+bitwise-identical buffer contents *and* identical :class:`Counters`
+(memory ops per address space, flops, barriers, branches, cached loads)
+for every supported kernel.  Cached-load accounting mirrors the
+per-work-item ``_touched`` set of the scalar interpreter with an
+order-independent log: per buffer, the cached total equals load events
+minus distinct ``(lane, address)`` pairs, settled with one ``np.unique``
+per block (see :class:`_LoadLog`).
+
+Fallback rules
+--------------
+A kernel falls back to the scalar interpreter (per launch) when the
+static analysis finds a construct whose lane-batched execution could
+diverge from scalar semantics:
+
+* a barrier under lane-divergent control flow (this is also how
+  ``BarrierDivergence`` keeps being raised: the scalar path detects it),
+* a barrier combined with an early ``return``, or inside a helper,
+* recursive helper functions, calls to unknown functions,
+* the ``dot`` / ``length`` builtins (their BLAS summation order is not
+  guaranteed to be bitwise-stable across shapes).
+
+A handful of *dynamic* situations raise :class:`VectorUnsupported`; the
+launcher then restores the global buffers from a snapshot and re-runs
+the whole launch on the scalar path, so ``launch()`` keeps its exact
+API and semantics.  The two big ones: a cross-lane data race (a store
+whose value another work-item could observe order-dependently — see
+:class:`_Hazard`), and a masked assignment that would mix integer and
+floating-point lanes in one variable (which the scalar interpreter's
+per-item dynamic typing allows).
+
+Known (documented) divergence, outside defined OpenCL behaviour:
+reading a variable that only a *different* lane's control path declared
+yields a zero filler instead of the scalar path's "undefined
+identifier" error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.compiler import cast as c
+from repro.opencl.cparser import ParsedProgram
+from repro.opencl.interp import (
+    Counters,
+    ExecError,
+    Pointer,
+    _MATH_BUILTINS,
+    _c_int_div,
+    _c_int_mod,
+)
+
+#: Lanes batched together (across whole work-groups) per executor block.
+MAX_LANES = 4096
+
+
+class VectorUnsupported(Exception):
+    """Dynamic bail-out: re-run the launch on the scalar path."""
+
+
+class VectorizationError(ExecError):
+    """Raised when ``engine="vector"`` is forced on an unsupported kernel."""
+
+
+_VEC_MEMBERS = {"x": 0, "y": 1, "z": 2, "w": 3}
+
+_GEOM_UNIFORM = {
+    "get_group_id",
+    "get_num_groups",
+    "get_local_size",
+    "get_global_size",
+}
+_GEOM_LANE = {"get_local_id", "get_global_id"}
+_GEOMETRY = _GEOM_UNIFORM | _GEOM_LANE
+
+#: Builtins whose scalar implementation reduces with BLAS (``np.dot``);
+#: a lane-batched reduction is not guaranteed bitwise-identical.
+_UNSUPPORTED_BUILTINS = {"dot", "length"}
+
+_CMP_OPS = ("==", "!=", "<", ">", "<=", ">=")
+
+
+def _is_vload(name: str) -> bool:
+    return name.startswith("vload") and name[5:].isdigit()
+
+
+def _is_vstore(name: str) -> bool:
+    return name.startswith("vstore") and name[6:].isdigit()
+
+
+# ---------------------------------------------------------------------------
+# static vectorizability analysis
+# ---------------------------------------------------------------------------
+
+def analyze_kernel(parsed: ParsedProgram, kernel: c.CFunctionDef) -> Optional[str]:
+    """``None`` when the kernel is vectorizable, else the fallback reason.
+
+    Results are cached on the parsed program (which the runtime also
+    caches per source), so the analysis runs once per distinct kernel.
+    """
+    cache = getattr(parsed, "_simt_analysis", None)
+    if cache is None:
+        cache = {}
+        parsed._simt_analysis = cache
+    if kernel.name in cache:
+        return cache[kernel.name]
+    reason = _analyze(parsed, kernel)
+    cache[kernel.name] = reason
+    return reason
+
+
+def _analyze(parsed: ParsedProgram, kernel: c.CFunctionDef) -> Optional[str]:
+    reason = _check_function(parsed, kernel, frozenset(), is_kernel=True)
+    if reason is not None:
+        return reason
+    if _contains(kernel.body, c.CBarrier):
+        if _contains(kernel.body, c.CReturn):
+            return "barrier combined with early return"
+        if not _barriers_group_uniform(kernel):
+            return "barrier under lane-divergent control flow"
+    return None
+
+
+def _check_function(
+    parsed: ParsedProgram, fn: c.CFunctionDef, stack: frozenset, is_kernel: bool
+) -> Optional[str]:
+    if fn.name in stack:
+        return f"recursive helper function {fn.name!r}"
+    stack = stack | {fn.name}
+    return _check_stmt(parsed, fn.body, stack, is_kernel)
+
+
+def _check_stmt(parsed, s, stack, is_kernel) -> Optional[str]:
+    if isinstance(s, c.CBlock):
+        for sub in s.stmts:
+            r = _check_stmt(parsed, sub, stack, is_kernel)
+            if r:
+                return r
+        return None
+    if isinstance(s, c.CBarrier):
+        return None if is_kernel else "barrier inside helper function"
+    if isinstance(s, c.CDecl):
+        return _check_expr(parsed, s.init, stack, is_kernel) if s.init else None
+    if isinstance(s, c.CAssign):
+        return (
+            _check_expr(parsed, s.target, stack, is_kernel)
+            or _check_expr(parsed, s.value, stack, is_kernel)
+        )
+    if isinstance(s, c.CFor):
+        for part in (s.init, s.step, s.body):
+            if part is not None:
+                r = _check_stmt(parsed, part, stack, is_kernel)
+                if r:
+                    return r
+        return _check_expr(parsed, s.cond, stack, is_kernel) if s.cond else None
+    if isinstance(s, c.CIf):
+        r = _check_expr(parsed, s.cond, stack, is_kernel)
+        if not r:
+            r = _check_stmt(parsed, s.then, stack, is_kernel)
+        if not r and s.otherwise is not None:
+            r = _check_stmt(parsed, s.otherwise, stack, is_kernel)
+        return r
+    if isinstance(s, c.CExprStmt):
+        return _check_expr(parsed, s.expr, stack, is_kernel)
+    if isinstance(s, c.CReturn):
+        return _check_expr(parsed, s.value, stack, is_kernel) if s.value else None
+    if isinstance(s, c.CComment):
+        return None
+    return f"unsupported statement {type(s).__name__}"
+
+
+def _check_expr(parsed, e, stack, is_kernel) -> Optional[str]:
+    if isinstance(e, (c.CInt, c.CFloat, c.CIdent)):
+        return None
+    if isinstance(e, c.CBinOp):
+        return (
+            _check_expr(parsed, e.lhs, stack, is_kernel)
+            or _check_expr(parsed, e.rhs, stack, is_kernel)
+        )
+    if isinstance(e, c.CUnOp):
+        return _check_expr(parsed, e.operand, stack, is_kernel)
+    if isinstance(e, c.CTernary):
+        return (
+            _check_expr(parsed, e.cond, stack, is_kernel)
+            or _check_expr(parsed, e.then, stack, is_kernel)
+            or _check_expr(parsed, e.otherwise, stack, is_kernel)
+        )
+    if isinstance(e, (c.CIndex,)):
+        return (
+            _check_expr(parsed, e.base, stack, is_kernel)
+            or _check_expr(parsed, e.index, stack, is_kernel)
+        )
+    if isinstance(e, c.CMember):
+        return _check_expr(parsed, e.base, stack, is_kernel)
+    if isinstance(e, c.CCast):
+        return _check_expr(parsed, e.operand, stack, is_kernel)
+    if isinstance(e, c.CVectorLiteral):
+        for item in e.items:
+            r = _check_expr(parsed, item, stack, is_kernel)
+            if r:
+                return r
+        return None
+    if isinstance(e, c.CCall):
+        for a in e.args:
+            r = _check_expr(parsed, a, stack, is_kernel)
+            if r:
+                return r
+        name = e.func
+        if name.startswith("get_"):
+            return None if name in _GEOMETRY else f"unknown geometry builtin {name!r}"
+        if _is_vload(name) or _is_vstore(name):
+            return None
+        if name in _UNSUPPORTED_BUILTINS:
+            return f"builtin {name!r} is not bitwise-stable under lane batching"
+        if name in _MATH_BUILTINS:
+            return None
+        fn = parsed.functions.get(name)
+        if fn is None:
+            return f"call to unknown function {name!r}"
+        return _check_function(parsed, fn, stack, is_kernel=False)
+    return f"unsupported expression {type(e).__name__}"
+
+
+def _contains(stmt, node_type) -> bool:
+    if isinstance(stmt, node_type):
+        return True
+    if isinstance(stmt, c.CBlock):
+        return any(_contains(s, node_type) for s in stmt.stmts)
+    if isinstance(stmt, c.CFor):
+        return any(
+            part is not None and _contains(part, node_type)
+            for part in (stmt.init, stmt.body, stmt.step)
+        )
+    if isinstance(stmt, c.CIf):
+        if _contains(stmt.then, node_type):
+            return True
+        return stmt.otherwise is not None and _contains(stmt.otherwise, node_type)
+    return False
+
+
+# -- group-uniformity analysis for barrier placement ------------------------
+
+def _barriers_group_uniform(kernel: c.CFunctionDef) -> bool:
+    """True when every barrier sits only under group-uniform conditions.
+
+    A value is *group-uniform* when all work-items of one group agree on
+    it: literals, scalar kernel arguments, ``get_group_id`` and the size
+    getters, and variables only ever assigned group-uniform values under
+    group-uniform control.  ``get_local_id`` / ``get_global_id`` and any
+    memory load are lane-varying.  Computed by demotion to a fixpoint.
+    """
+    uniform = {p.name for p in kernel.params}
+    _collect_assigned(kernel.body, uniform)
+    while True:
+        demoted: list = []
+        _walk_uniform(kernel.body, True, uniform, demoted)
+        shrunk = uniform.intersection(demoted)
+        if not shrunk:
+            break
+        uniform.difference_update(shrunk)
+    return _barrier_ctrl_ok(kernel.body, True, uniform)
+
+
+def _collect_assigned(s, names: set) -> None:
+    if isinstance(s, c.CBlock):
+        for sub in s.stmts:
+            _collect_assigned(sub, names)
+    elif isinstance(s, c.CDecl):
+        names.add(s.name)
+    elif isinstance(s, c.CAssign) and isinstance(s.target, c.CIdent):
+        names.add(s.target.name)
+    elif isinstance(s, c.CFor):
+        for part in (s.init, s.body, s.step):
+            if part is not None:
+                _collect_assigned(part, names)
+    elif isinstance(s, c.CIf):
+        _collect_assigned(s.then, names)
+        if s.otherwise is not None:
+            _collect_assigned(s.otherwise, names)
+
+
+def _expr_uniform(e, uniform: set) -> bool:
+    if isinstance(e, (c.CInt, c.CFloat)):
+        return True
+    if isinstance(e, c.CIdent):
+        return e.name in uniform
+    if isinstance(e, c.CBinOp):
+        return _expr_uniform(e.lhs, uniform) and _expr_uniform(e.rhs, uniform)
+    if isinstance(e, c.CUnOp):
+        return _expr_uniform(e.operand, uniform)
+    if isinstance(e, c.CTernary):
+        return all(
+            _expr_uniform(x, uniform) for x in (e.cond, e.then, e.otherwise)
+        )
+    if isinstance(e, c.CCast):
+        return _expr_uniform(e.operand, uniform)
+    if isinstance(e, c.CCall):
+        if e.func in _GEOM_UNIFORM:
+            return all(_expr_uniform(a, uniform) for a in e.args)
+        if e.func in _MATH_BUILTINS and e.func not in _UNSUPPORTED_BUILTINS:
+            return all(_expr_uniform(a, uniform) for a in e.args)
+        return False  # lane getters, loads via vload, helper calls
+    # CIndex (memory load), CMember, CVectorLiteral: conservative.
+    return False
+
+
+def _walk_uniform(s, ctrl: bool, uniform: set, demoted: list) -> None:
+    if isinstance(s, c.CBlock):
+        for sub in s.stmts:
+            _walk_uniform(sub, ctrl, uniform, demoted)
+    elif isinstance(s, c.CDecl):
+        if s.array_size is not None:
+            value_uniform = True  # the pointer itself is uniform
+        else:
+            value_uniform = s.init is None or _expr_uniform(s.init, uniform)
+        if not (ctrl and value_uniform):
+            demoted.append(s.name)
+    elif isinstance(s, c.CAssign):
+        if isinstance(s.target, c.CIdent):
+            value_uniform = _expr_uniform(s.value, uniform)
+            if s.op != "=":
+                value_uniform = value_uniform and s.target.name in uniform
+            if not (ctrl and value_uniform):
+                demoted.append(s.target.name)
+        elif isinstance(s.target, c.CMember) and isinstance(s.target.base, c.CIdent):
+            demoted.append(s.target.base.name)
+    elif isinstance(s, c.CFor):
+        if s.init is not None:
+            _walk_uniform(s.init, ctrl, uniform, demoted)
+        inner = ctrl and (s.cond is None or _expr_uniform(s.cond, uniform))
+        _walk_uniform(s.body, inner, uniform, demoted)
+        if s.step is not None:
+            _walk_uniform(s.step, inner, uniform, demoted)
+    elif isinstance(s, c.CIf):
+        inner = ctrl and _expr_uniform(s.cond, uniform)
+        _walk_uniform(s.then, inner, uniform, demoted)
+        if s.otherwise is not None:
+            _walk_uniform(s.otherwise, inner, uniform, demoted)
+
+
+def _barrier_ctrl_ok(s, ctrl: bool, uniform: set) -> bool:
+    if isinstance(s, c.CBarrier):
+        return ctrl
+    if isinstance(s, c.CBlock):
+        return all(_barrier_ctrl_ok(sub, ctrl, uniform) for sub in s.stmts)
+    if isinstance(s, c.CFor):
+        inner = ctrl and (s.cond is None or _expr_uniform(s.cond, uniform))
+        return _barrier_ctrl_ok(s.body, inner, uniform)
+    if isinstance(s, c.CIf):
+        inner = ctrl and _expr_uniform(s.cond, uniform)
+        if not _barrier_ctrl_ok(s.then, inner, uniform):
+            return False
+        return s.otherwise is None or _barrier_ctrl_ok(s.otherwise, inner, uniform)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# lane-batched values
+# ---------------------------------------------------------------------------
+
+class VPtr:
+    """Pointer into a shared 1-D buffer (global memory, flat local)."""
+
+    __slots__ = ("array", "offset", "space")
+
+    def __init__(self, array: np.ndarray, offset, space: str):
+        self.array = array
+        self.offset = offset  # python int or (L,) int64 lane array
+        self.space = space
+
+    def plus(self, delta) -> "VPtr":
+        return VPtr(self.array, self.offset + delta, self.space)
+
+
+class RowPtr:
+    """Pointer into a 2-D row-partitioned buffer.
+
+    ``rows`` maps each lane to its row: the lane index for private
+    arrays (one row per work-item), the in-block group ordinal for local
+    buffers (one row per work-group).
+    """
+
+    __slots__ = ("array", "rows", "offset", "space")
+
+    def __init__(self, array: np.ndarray, rows: np.ndarray, offset, space: str):
+        self.array = array
+        self.rows = rows
+        self.offset = offset
+        self.space = space
+
+    def plus(self, delta) -> "RowPtr":
+        return RowPtr(self.array, self.rows, self.offset + delta, self.space)
+
+
+class _Frame:
+    """Per-function-body return state (lanes that hit ``return``)."""
+
+    __slots__ = ("ret_mask", "ret_val", "returned_any", "has_value")
+
+    def __init__(self, lanes: int):
+        self.ret_mask = np.zeros(lanes, dtype=bool)
+        self.ret_val: Any = None
+        self.returned_any = False
+        self.has_value = False
+
+
+_UNIFORM_TYPES = (int, float, bool, np.integer, np.floating, np.bool_)
+
+
+def _is_uniform(v) -> bool:
+    return isinstance(v, _UNIFORM_TYPES)
+
+
+def _kind(v) -> str:
+    if isinstance(v, np.ndarray):
+        if v.ndim == 2:
+            return "vec"
+        return "f" if v.dtype.kind == "f" else "i"
+    if isinstance(v, (bool, np.bool_, np.integer, int)):
+        return "i"
+    if isinstance(v, (float, np.floating)):
+        return "f"
+    if isinstance(v, (VPtr, RowPtr)):
+        return "ptr"
+    if isinstance(v, dict):
+        return "struct"
+    return "other"
+
+
+def _vec_width(v) -> int:
+    """Width the scalar interpreter's ``_width_of`` would report."""
+    if isinstance(v, np.ndarray) and v.ndim == 2:
+        return v.shape[1]
+    return 1
+
+
+def _is_floatish(v) -> bool:
+    if isinstance(v, np.ndarray):
+        return v.dtype.kind == "f"
+    return isinstance(v, (float, np.floating))
+
+
+def _is_int_like(v) -> bool:
+    """Mirror of the scalar ``_is_int`` (bools are *not* C integers)."""
+    if isinstance(v, np.ndarray):
+        return v.ndim == 1 and v.dtype.kind in "iu"
+    return isinstance(v, (int, np.integer)) and not isinstance(
+        v, (bool, np.bool_)
+    )
+
+
+# ---------------------------------------------------------------------------
+# block executor
+# ---------------------------------------------------------------------------
+
+class _Block:
+    """Executes one block of whole work-groups in lock-step."""
+
+    def __init__(
+        self,
+        parsed: ParsedProgram,
+        counters: Counters,
+        lanes: int,
+        group_row: np.ndarray,
+        lid: tuple,
+        gid: tuple,
+        group_ids: tuple,
+        global_size: tuple,
+        local_size: tuple,
+        num_groups: tuple,
+        hazards: Optional[dict] = None,
+        seg_start: int = 0,
+    ):
+        self.parsed = parsed
+        self.counters = counters
+        self.L = lanes
+        self.group_row = group_row
+        self.lid = lid
+        self.gid = gid
+        self.group_ids = group_ids
+        self.global_size = global_size
+        self.local_size = local_size
+        self.num_groups = num_groups
+        self.env: dict = {}
+        self._lane_ids = np.arange(lanes)
+        self._load_log: dict = {}  # (id(buffer), width) -> _LoadLog
+        # Race detectors are shared across the blocks of one launch;
+        # segments increase monotonically, and entries stamped before
+        # this block's first segment are stale by construction.
+        self._hazards = hazards if hazards is not None else {}
+        self._seg_base = seg_start
+        self._segment = seg_start
+        self._lanes_per_group = local_size[0] * local_size[1] * local_size[2]
+        self._full = np.ones(lanes, dtype=bool)
+
+    # -- top level -------------------------------------------------------
+    def run(self, kernel: c.CFunctionDef) -> None:
+        frame = _Frame(self.L)
+        self.exec_stmt(kernel.body, self._full, self.L, frame)
+        self._flush_load_log()
+
+    # -- statements ------------------------------------------------------
+    def exec_stmt(self, s, m, n, frame) -> None:
+        t = type(s)
+        if t is c.CBlock:
+            for sub in s.stmts:
+                if frame.returned_any:
+                    m = m & ~frame.ret_mask
+                    n = int(m.sum())
+                    if n == 0:
+                        return
+                self.exec_stmt(sub, m, n, frame)
+        elif t is c.CAssign:
+            self._assign(s, m, n)
+        elif t is c.CDecl:
+            self._declare(s, m, n)
+        elif t is c.CFor:
+            if s.init is not None:
+                self.exec_stmt(s.init, m, n, frame)
+            active = m & ~frame.ret_mask if frame.returned_any else m
+            while True:
+                na = int(active.sum())
+                if na == 0:
+                    break
+                if s.cond is not None:
+                    cv = self._as_bool(self.eval(s.cond, active, na), active)
+                    active = active & cv
+                    na = int(active.sum())
+                    if na == 0:
+                        break
+                self.counters.loop_iterations += na
+                self.exec_stmt(s.body, active, na, frame)
+                if frame.returned_any:
+                    active = active & ~frame.ret_mask
+                    na = int(active.sum())
+                    if na == 0:
+                        break
+                if s.step is not None:
+                    self.exec_stmt(s.step, active, na, frame)
+        elif t is c.CIf:
+            self.counters.branches += n
+            cv = self._as_bool(self.eval(s.cond, m, n), m)
+            mt = m & cv
+            nt = int(mt.sum())
+            if nt:
+                self.exec_stmt(s.then, mt, nt, frame)
+            if s.otherwise is not None and nt < n:
+                mf = m & ~cv
+                self.exec_stmt(s.otherwise, mf, n - nt, frame)
+        elif t is c.CExprStmt:
+            self.eval(s.expr, m, n)
+        elif t is c.CReturn:
+            value = self.eval(s.value, m, n) if s.value is not None else None
+            self._set_return(frame, m, value)
+        elif t is c.CComment:
+            pass
+        elif t is c.CBarrier:
+            # The static analysis guarantees the mask is all-or-nothing
+            # per work-group here, so lock-step execution satisfies the
+            # barrier and each active item counts one, as in the scalar
+            # generator path.
+            self.counters.barriers += n
+            self._segment += 1
+        else:
+            raise VectorUnsupported(f"cannot execute {s!r}")
+
+    def _set_return(self, frame, m, value) -> None:
+        if value is None:
+            if frame.has_value:
+                raise VectorUnsupported("mixed void and value returns")
+        elif not frame.returned_any:
+            frame.ret_val = value
+            frame.has_value = True
+        elif not frame.has_value:
+            raise VectorUnsupported("mixed void and value returns")
+        else:
+            frame.ret_val = self._merge(frame.ret_val, value, m)
+        frame.ret_mask |= m
+        frame.returned_any = True
+
+    # -- declarations ----------------------------------------------------
+    def _declare(self, decl: c.CDecl, m, n) -> None:
+        name = decl.name
+        if decl.qualifier == "local" and decl.array_size is not None:
+            if name not in self.env:
+                raise ExecError(f"local buffer {name} was not pre-allocated")
+            return
+        if decl.array_size is not None:
+            dtype = (
+                np.int64 if decl.type_name in ("int", "uint", "long") else np.float64
+            )
+            self.env[name] = RowPtr(
+                np.zeros((self.L, decl.array_size), dtype=dtype),
+                self._lane_ids,
+                0,
+                "private",
+            )
+            return
+        if decl.init is not None:
+            self._bind(name, self.eval(decl.init, m, n), m, n, declaring=True)
+            return
+        struct = self.parsed.structs.get(decl.type_name)
+        if struct is not None:
+            self._bind(
+                name, {member: 0.0 for _, member in struct.members}, m, n,
+                declaring=True,
+            )
+        elif decl.type_name.rstrip("1234568") in ("float", "int", "uint", "double"):
+            width = decl.type_name.lstrip("floatinudbe")
+            if width and width in ("2", "3", "4", "8", "16"):
+                self._bind(
+                    name, np.zeros((self.L, int(width))), m, n, declaring=True
+                )
+            else:
+                self._bind(name, 0, m, n, declaring=True)
+        else:
+            self._bind(name, 0, m, n, declaring=True)
+
+    # -- assignment ------------------------------------------------------
+    def _assign(self, s: c.CAssign, m, n) -> None:
+        value = self.eval(s.value, m, n)
+        if s.op != "=":
+            current = self.eval(s.target, m, n)
+            op = s.op[0]
+            value = self._binop_value(op, current, value, m, n)
+            self._count_binop(op, current, value, n)
+        target = s.target
+        if isinstance(target, c.CIdent):
+            self._bind(target.name, value, m, n)
+        elif isinstance(target, c.CIndex):
+            base = self.eval(target.base, m, n)
+            index = self.eval(target.index, m, n)
+            if not isinstance(base, (VPtr, RowPtr)):
+                raise ExecError(f"indexed store into non-pointer {target.base!r}")
+            self._scatter(base, index, value, m, n)
+        elif isinstance(target, c.CMember):
+            container = self.eval(target.base, m, n)
+            if isinstance(container, dict):
+                if n == self.L:
+                    container[target.member] = value
+                else:
+                    old = container.get(target.member, 0.0)
+                    container[target.member] = self._merge(old, value, m)
+            elif isinstance(container, np.ndarray) and container.ndim == 2:
+                col = _VEC_MEMBERS[target.member]
+                if n == self.L:
+                    container[:, col] = value
+                else:
+                    container[m, col] = self._lanes(value)[m]
+            else:
+                raise ExecError(f"member store into {container!r}")
+        else:
+            raise ExecError(f"cannot assign to {target!r}")
+
+    def _bind(self, name, value, m, n, declaring: bool = False) -> None:
+        if n == self.L:
+            self.env[name] = value
+            return
+        old = self.env.get(name, _MISSING)
+        if old is _MISSING:
+            if not declaring:
+                raise VectorUnsupported(
+                    f"first assignment to {name!r} under a partial mask"
+                )
+            # A declaration dominates every read of the variable in
+            # well-scoped C, so inactive lanes can hold a zero filler.
+            self.env[name] = self._merge(self._zero_like(value), value, m)
+            return
+        self.env[name] = self._merge(old, value, m)
+
+    def _zero_like(self, value):
+        k = _kind(value)
+        if k == "i":
+            return 0
+        if k == "f":
+            return 0.0
+        if k == "vec":
+            return np.zeros_like(value)
+        if k == "struct":
+            return {key: 0.0 for key in value}
+        if k == "ptr":
+            return value  # pointer target is uniform; offset merged below
+        raise VectorUnsupported(f"cannot default-fill a {k} value")
+
+    # -- merging ---------------------------------------------------------
+    def _merge(self, old, new, m):
+        if old is new:
+            return old
+        ko, kn = _kind(old), _kind(new)
+        if ko in ("i", "f") and kn in ("i", "f"):
+            if ko != kn:
+                raise VectorUnsupported(
+                    "masked assignment mixes integer and float lanes"
+                )
+            if _is_uniform(old) and _is_uniform(new) and old == new:
+                return old
+            return np.where(m, new, old)
+        if ko == "vec" and kn == "vec":
+            if old.shape[1] != new.shape[1]:
+                raise VectorUnsupported("masked assignment mixes vector widths")
+            return np.where(m[:, None], new, old)
+        if ko == "struct" and kn == "struct":
+            if set(old) != set(new):
+                raise VectorUnsupported("masked assignment mixes struct types")
+            return {key: self._merge(old[key], new[key], m) for key in old}
+        if ko == "ptr" and kn == "ptr":
+            same = (
+                type(old) is type(new)
+                and old.array is new.array
+                and old.space == new.space
+                and (not isinstance(old, RowPtr) or old.rows is new.rows)
+            )
+            if not same:
+                raise VectorUnsupported("masked assignment mixes pointers")
+            offset = self._merge_offsets(old.offset, new.offset, m)
+            if isinstance(old, RowPtr):
+                return RowPtr(old.array, old.rows, offset, old.space)
+            return VPtr(old.array, offset, old.space)
+        raise VectorUnsupported(f"cannot merge {ko} with {kn}")
+
+    def _merge_offsets(self, old, new, m):
+        if _is_uniform(old) and _is_uniform(new) and old == new:
+            return old
+        return np.where(m, new, old)
+
+    # -- expressions -----------------------------------------------------
+    def eval(self, e, m, n):
+        t = type(e)
+        if t is c.CInt:
+            return e.value
+        if t is c.CFloat:
+            return e.value
+        if t is c.CIdent:
+            try:
+                return self.env[e.name]
+            except KeyError:
+                raise ExecError(f"undefined identifier {e.name!r}") from None
+        if t is c.CBinOp:
+            op = e.op
+            if op == "&&" or op == "||":
+                lb = self._as_bool(self.eval(e.lhs, m, n), m)
+                m2 = (m & lb) if op == "&&" else (m & ~lb)
+                n2 = int(m2.sum())
+                if n2:
+                    rb = self._as_bool(self.eval(e.rhs, m2, n2), m2)
+                else:
+                    rb = np.zeros(self.L, dtype=bool)
+                return (lb & rb) if op == "&&" else (lb | rb)
+            lhs = self.eval(e.lhs, m, n)
+            rhs = self.eval(e.rhs, m, n)
+            self._count_binop(op, lhs, rhs, n, const_rhs=type(e.rhs) is c.CInt)
+            return self._binop_value(op, lhs, rhs, m, n)
+        if t is c.CUnOp:
+            v = self.eval(e.operand, m, n)
+            if e.op == "-":
+                return -v
+            if e.op == "!":
+                return ~self._as_bool(v, m)
+            raise ExecError(f"unknown unary operator {e.op}")
+        if t is c.CTernary:
+            self.counters.branches += n
+            cv = self._as_bool(self.eval(e.cond, m, n), m)
+            mt = m & cv
+            nt = int(mt.sum())
+            nf = n - nt
+            if nf == 0:
+                return self.eval(e.then, mt, nt)
+            mf = m & ~cv
+            if nt == 0:
+                return self.eval(e.otherwise, mf, nf)
+            tv = self.eval(e.then, mt, nt)
+            fv = self.eval(e.otherwise, mf, nf)
+            return self._merge(fv, tv, cv)
+        if t is c.CIndex:
+            base = self.eval(e.base, m, n)
+            index = self.eval(e.index, m, n)
+            if isinstance(base, (VPtr, RowPtr)):
+                return self._gather(base, index, m, n)
+            if isinstance(base, np.ndarray) and base.ndim == 2:
+                if _is_uniform(index):
+                    return base[:, int(index)]
+                idx = np.where(m, index, 0)
+                return np.take_along_axis(base, idx[:, None], 1)[:, 0]
+            raise ExecError(f"cannot index {base!r}")
+        if t is c.CMember:
+            container = self.eval(e.base, m, n)
+            if isinstance(container, dict):
+                return container[e.member]
+            if isinstance(container, np.ndarray) and container.ndim == 2:
+                member = e.member
+                if member in _VEC_MEMBERS:
+                    return container[:, _VEC_MEMBERS[member]]
+                if member.startswith("s"):
+                    return container[:, int(member[1:], 16)]
+                if member == "lo":
+                    return container[:, : container.shape[1] // 2].copy()
+                if member == "hi":
+                    return container[:, container.shape[1] // 2 :].copy()
+            raise ExecError(f"cannot take member {e.member} of {container!r}")
+        if t is c.CCall:
+            return self._call(e, m, n)
+        if t is c.CCast:
+            v = self.eval(e.operand, m, n)
+            if e.type_name in ("int", "uint", "long"):
+                if isinstance(v, np.ndarray):
+                    return v.astype(np.int64)  # truncates toward zero, like C
+                return int(v)
+            if e.type_name in ("float", "double"):
+                if isinstance(v, np.ndarray):
+                    return v.astype(np.float64)
+                return float(v)
+            return v
+        if t is c.CVectorLiteral:
+            items = [self.eval(i, m, n) for i in e.items]
+            width = int("".join(ch for ch in e.type_name if ch.isdigit()))
+            if len(items) == 1:
+                items = items * width
+            out = np.empty((self.L, width), dtype=np.float64)
+            for col, item in enumerate(items):
+                out[:, col] = item
+            return out
+        raise VectorUnsupported(f"cannot evaluate {e!r}")
+
+    # -- calls and built-ins ---------------------------------------------
+    def _call(self, e: c.CCall, m, n):
+        name = e.func
+        if name.startswith("get_"):
+            if e.args:
+                dim = self.eval(e.args[0], m, n)
+                if not _is_uniform(dim):
+                    raise VectorUnsupported("lane-varying geometry dimension")
+                dim = int(dim)
+            else:
+                dim = 0
+            return self._geometry(name, dim)
+        if _is_vload(name):
+            width = int(name[5:])
+            offset = self.eval(e.args[0], m, n)
+            ptr = self.eval(e.args[1], m, n)
+            assert isinstance(ptr, (VPtr, RowPtr))
+            return self._vload(ptr, offset, width, m, n)
+        if _is_vstore(name):
+            width = int(name[6:])
+            value = self.eval(e.args[0], m, n)
+            offset = self.eval(e.args[1], m, n)
+            ptr = self.eval(e.args[2], m, n)
+            assert isinstance(ptr, (VPtr, RowPtr))
+            self._vstore(ptr, offset, width, value, m, n)
+            return None
+
+        args = [self.eval(a, m, n) for a in e.args]
+        builtin = _VMATH.get(name)
+        if builtin is not None:
+            cost, fn = builtin
+            width = 1
+            for a in args:
+                if isinstance(a, np.ndarray) and a.ndim == 2:
+                    width = a.shape[1]
+                    break
+            self.counters.flops += cost * width * n
+            return fn(*args)
+        if name in _UNSUPPORTED_BUILTINS:
+            raise VectorUnsupported(f"builtin {name!r}")
+
+        fn_def = self.parsed.functions.get(name)
+        if fn_def is None:
+            raise ExecError(f"call to unknown function {name!r}")
+        self.counters.calls += n
+        return self._call_helper(fn_def, args, m, n)
+
+    def _call_helper(self, fn: c.CFunctionDef, args, m, n):
+        saved = self.env
+        # C passes structs and vectors by value.
+        by_value = [
+            dict(a) if isinstance(a, dict)
+            else a.copy() if isinstance(a, np.ndarray)
+            else a
+            for a in args
+        ]
+        self.env = dict((p.name, a) for p, a in zip(fn.params, by_value))
+        frame = _Frame(self.L)
+        try:
+            self.exec_stmt(fn.body, m, n, frame)
+        finally:
+            self.env = saved
+        if not frame.has_value:
+            return None
+        if bool((m & ~frame.ret_mask).any()):
+            raise VectorUnsupported(
+                f"helper {fn.name!r} returns a value on only some lanes"
+            )
+        return frame.ret_val
+
+    def _geometry(self, name: str, dim: int):
+        if name == "get_global_id":
+            return self.gid[dim]
+        if name == "get_local_id":
+            return self.lid[dim]
+        if name == "get_group_id":
+            return self.group_ids[dim]
+        if name == "get_local_size":
+            return self.local_size[dim]
+        if name == "get_global_size":
+            return self.global_size[dim]
+        if name == "get_num_groups":
+            return self.num_groups[dim]
+        raise ExecError(f"unknown geometry builtin {name}")
+
+    # -- memory ----------------------------------------------------------
+    def _lanes(self, v) -> np.ndarray:
+        """Materialize a lane view of ``v`` (read-only broadcast)."""
+        if isinstance(v, np.ndarray) and v.ndim == 1:
+            return v
+        return np.broadcast_to(np.asarray(v), (self.L,))
+
+    def _log_load(self, ptr, addr, width, m, n) -> None:
+        """Record a global/local load for deferred cached-load accounting.
+
+        The scalar interpreter charges a load as *cached* when the same
+        work-item already loaded the same address; the totals therefore
+        equal ``events - distinct (lane, address) pairs`` — an
+        order-independent quantity we can settle with one ``np.unique``
+        per buffer at block end, instead of a per-event bitmap.
+        """
+        key = (id(ptr.array), width)
+        log = self._load_log.get(key)
+        if log is None:
+            log = _LoadLog(ptr.array, ptr.space, width)
+            self._load_log[key] = log
+        if _is_uniform(addr):
+            if n == self.L:
+                encoded = int(addr) * self.L + self._lane_ids
+            else:
+                encoded = int(addr) * self.L + self._lane_ids[m]
+        elif n == self.L:
+            encoded = addr * self.L + self._lane_ids
+        else:
+            encoded = addr[m] * self.L + self._lane_ids[m]
+        log.add(encoded, n)
+
+    def _flush_load_log(self) -> None:
+        counters = self.counters
+        for log in self._load_log.values():
+            events, distinct = log.totals()
+            counters.cached_loads += (events - distinct) * log.width_units
+            fresh = distinct * log.width_units
+            if log.space == "global":
+                counters.global_loads += fresh
+            else:
+                counters.local_loads += fresh
+        self._load_log.clear()
+
+    def _count_stores(self, space, count) -> None:
+        counters = self.counters
+        if space == "global":
+            counters.global_stores += count
+        elif space == "local":
+            counters.local_stores += count
+        else:
+            counters.private_stores += count
+
+    def _hazard(self, array: np.ndarray) -> "_Hazard":
+        key = id(array)
+        entry = self._hazards.get(key)
+        if entry is None:
+            entry = _Hazard(array, self._lanes_per_group)
+            self._hazards[key] = entry
+        return entry
+
+    def _flat_addr(self, ptr, addr, m, n):
+        """(flat addresses, lanes) for the active lanes of an access."""
+        if n == self.L:
+            lanes = self._lane_ids
+            aa = self._lanes(addr)
+            rows = ptr.rows if isinstance(ptr, RowPtr) else None
+        else:
+            lanes = self._lane_ids[m]
+            aa = self._lanes(addr)[m]
+            rows = ptr.rows[m] if isinstance(ptr, RowPtr) else None
+        if rows is not None:
+            aa = rows * ptr.array.shape[1] + aa
+        return aa, lanes
+
+    def _gather(self, ptr, index, m, n):
+        addr = ptr.offset + index
+        if ptr.space == "private":
+            self.counters.private_loads += n
+        else:
+            self._log_load(ptr, addr, 0, m, n)
+            aa, lanes = self._flat_addr(ptr, addr, m, n)
+            self._hazard(ptr.array).note_read(aa, lanes, self._segment, self._seg_base)
+        if _is_uniform(addr):
+            if isinstance(ptr, VPtr):
+                return ptr.array[int(addr)]
+            return ptr.array[ptr.rows, int(addr)]
+        safe = np.where(m, addr, 0)
+        if isinstance(ptr, VPtr):
+            return ptr.array[safe]
+        return ptr.array[ptr.rows, safe]
+
+    def _scatter(self, ptr, index, value, m, n) -> None:
+        addr = self._lanes(ptr.offset + index)
+        values = self._lanes(value)
+        if ptr.space != "private":
+            aa, lanes = self._flat_addr(ptr, addr, m, n)
+            self._hazard(ptr.array).note_write(aa, lanes, self._segment, self._seg_base)
+        if isinstance(ptr, VPtr):
+            if n == self.L:
+                ptr.array[addr] = values
+            else:
+                ptr.array[addr[m]] = values[m]
+        else:
+            if n == self.L:
+                ptr.array[ptr.rows, addr] = values
+            else:
+                ptr.array[ptr.rows[m], addr[m]] = values[m]
+        self._count_stores(ptr.space, n)
+
+    def _vload(self, ptr, offset, width, m, n):
+        start = ptr.offset + offset * width
+        cols = np.arange(width)
+        if ptr.space == "private":
+            self.counters.private_loads += n * width
+        else:
+            self._log_load(ptr, start, width, m, n)
+            aa, lanes = self._flat_addr(ptr, start, m, n)
+            self._hazard(ptr.array).note_read(
+                (aa[:, None] + cols).ravel(),
+                np.repeat(lanes, width),
+                self._segment,
+                self._seg_base,
+            )
+        if _is_uniform(start):
+            start = int(start)
+            if isinstance(ptr, VPtr):
+                row = ptr.array[start : start + width].astype(np.float64)
+                return np.tile(row, (self.L, 1))
+            return ptr.array[ptr.rows, start : start + width].astype(np.float64)
+        safe = np.where(m, start, 0)
+        idx2 = safe[:, None] + cols
+        if isinstance(ptr, VPtr):
+            return ptr.array[idx2].astype(np.float64)
+        return ptr.array[ptr.rows[:, None], idx2].astype(np.float64)
+
+    def _vstore(self, ptr, offset, width, value, m, n) -> None:
+        start = self._lanes(ptr.offset + offset * width)
+        if not (isinstance(value, np.ndarray) and value.ndim == 2):
+            raise VectorUnsupported("vstore of a non-vector value")
+        cols = np.arange(width)
+        if ptr.space != "private":
+            aa, lanes = self._flat_addr(ptr, start, m, n)
+            self._hazard(ptr.array).note_write(
+                (aa[:, None] + cols).ravel(),
+                np.repeat(lanes, width),
+                self._segment,
+                self._seg_base,
+            )
+        if n == self.L:
+            idx2 = start[:, None] + cols
+            vals = value
+            rows = ptr.rows if isinstance(ptr, RowPtr) else None
+        else:
+            idx2 = start[m][:, None] + cols
+            vals = value[m]
+            rows = ptr.rows[m] if isinstance(ptr, RowPtr) else None
+        if rows is None:
+            ptr.array[idx2.ravel()] = vals.ravel()
+        else:
+            ptr.array[np.repeat(rows, width), idx2.ravel()] = vals.ravel()
+        self._count_stores(ptr.space, n * width)
+
+    # -- operators -------------------------------------------------------
+    def _as_bool(self, v, m) -> np.ndarray:
+        if isinstance(v, np.ndarray):
+            if v.ndim != 1:
+                raise VectorUnsupported("vector used in a scalar condition")
+            if v.dtype.kind == "b":
+                return v
+            return v != 0
+        if _is_uniform(v):
+            return self._full if v else np.zeros(self.L, dtype=bool)
+        raise VectorUnsupported(f"cannot use {v!r} as a condition")
+
+    @staticmethod
+    def _align(lhs, rhs):
+        if isinstance(lhs, np.ndarray) and lhs.ndim == 2:
+            if isinstance(rhs, np.ndarray) and rhs.ndim == 1:
+                rhs = rhs[:, None]
+        elif isinstance(rhs, np.ndarray) and rhs.ndim == 2:
+            if isinstance(lhs, np.ndarray) and lhs.ndim == 1:
+                lhs = lhs[:, None]
+        return lhs, rhs
+
+    def _binop_value(self, op, lhs, rhs, m, n):
+        if isinstance(lhs, (VPtr, RowPtr)):
+            if op == "+":
+                return lhs.plus(rhs)
+            if op == "-":
+                return lhs.plus(-rhs)
+            raise ExecError(f"unsupported pointer operation {op}")
+        lhs, rhs = self._align(lhs, rhs)
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if _is_int_like(lhs) and _is_int_like(rhs):
+                return self._int_div(lhs, rhs, m)
+            return lhs / rhs
+        if op == "%":
+            if _is_int_like(lhs) and _is_int_like(rhs):
+                return self._int_mod(lhs, rhs, m)
+            return np.fmod(lhs, rhs)  # C fmod semantics, like math.fmod
+        if op == "==":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        if op == "<":
+            return lhs < rhs
+        if op == ">":
+            return lhs > rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">=":
+            return lhs >= rhs
+        raise ExecError(f"unknown operator {op}")
+
+    def _int_div(self, a, b, m):
+        if _is_uniform(a) and _is_uniform(b):
+            return _c_int_div(int(a), int(b))
+        zero = np.equal(b, 0)
+        if bool(np.any(zero & m)):
+            raise ExecError("integer division by zero")
+        safe = np.where(zero, 1, b)
+        q = np.abs(a) // np.abs(safe)
+        return np.where(np.greater_equal(a, 0) == np.greater_equal(safe, 0), q, -q)
+
+    def _int_mod(self, a, b, m):
+        if _is_uniform(a) and _is_uniform(b):
+            return _c_int_mod(int(a), int(b))
+        q = self._int_div(a, b, m)
+        safe = np.where(np.equal(b, 0), 1, b)
+        return a - q * safe
+
+    def _count_binop(self, op, lhs, rhs, n, const_rhs: bool = False) -> None:
+        counters = self.counters
+        if op in _CMP_OPS:
+            counters.iops += n
+            return
+        if _is_floatish(lhs) or _is_floatish(rhs):
+            counters.flops += max(_vec_width(lhs), _vec_width(rhs)) * n
+        elif op in ("/", "%"):
+            if (
+                const_rhs
+                and _is_int_like(rhs)
+                and _is_uniform(rhs)
+                and int(rhs) > 0
+                and (int(rhs) & (int(rhs) - 1)) == 0
+            ):
+                counters.iops += n
+            elif const_rhs:
+                counters.idivmod_const += n
+            else:
+                counters.idivmod += n
+        else:
+            counters.iops += n
+
+
+_MISSING = object()
+
+
+class _Hazard:
+    """Cross-lane data-race detector for one shared buffer.
+
+    The scalar interpreter runs the work-items of a barrier-free segment
+    sequentially to completion, so a later item can observe an earlier
+    item's writes; the lane-batched engine runs statement-by-statement
+    across all lanes.  The two orders agree exactly for race-free
+    kernels.  This detector flags the conflicts that could differ, and
+    the launcher then falls back to the scalar path, preserving its
+    semantics bit for bit:
+
+    * same-address accesses from *different lanes of one work-group*
+      with at least one write, within one barrier segment (a barrier
+      orders them in both engines);
+    * same-address accesses from *different work-groups* with at least
+      one write, in **any** segment of the current block — barriers do
+      not order work-groups, the scalar engine runs them sequentially,
+      so any cross-group conflict is order-dependent.  (Blocks run in
+      the scalar engine's group order, so cross-*block* conflicts agree
+      by construction.)
+
+    Bookkeeping is fully vectorized: per address, the writing lane and
+    the min/max reading lanes, each epoch-stamped with the barrier
+    segment.  Segments increase monotonically across blocks, so one
+    detector serves the whole launch: entries stamped before the
+    current block's first segment are simply stale — nothing is ever
+    cleared.  Within a single statement all lanes are simultaneous in
+    both engines, so intra-statement duplicates are not conflicts;
+    checks run against the pre-statement state only.
+    """
+
+    __slots__ = (
+        "array", "lanes_per_group",
+        "w_stamp", "writer", "r_stamp", "r_min", "r_max",
+    )
+
+    def __init__(self, array: np.ndarray, lanes_per_group: int):
+        size = array.size
+        self.array = array
+        self.lanes_per_group = lanes_per_group
+        self.w_stamp = np.full(size, -1, dtype=np.int64)
+        self.writer = np.zeros(size, dtype=np.int64)
+        self.r_stamp = np.full(size, -1, dtype=np.int64)
+        self.r_min = np.zeros(size, dtype=np.int64)
+        self.r_max = np.zeros(size, dtype=np.int64)
+
+    def note_read(
+        self, addrs: np.ndarray, lanes: np.ndarray, seg: int, base: int
+    ) -> None:
+        l0 = self.lanes_per_group
+        stamp = self.w_stamp[addrs]
+        writer = self.writer[addrs]
+        conflict = (
+            (stamp >= base)
+            & (writer != lanes)
+            & ((stamp == seg) | (writer // l0 != lanes // l0))
+        )
+        if bool(np.any(conflict)):
+            raise VectorUnsupported(
+                "cross-lane read of an address written by another "
+                "work-item (order-dependent result)"
+            )
+        # Reader min/max accumulate across the whole block (a later
+        # same-group reader must not mask an earlier cross-group one);
+        # ``r_stamp`` keeps the *latest* read segment for the same-segment
+        # write check and for staleness across blocks.
+        valid = self.r_stamp[addrs] >= base
+        new_min = np.where(valid, np.minimum(self.r_min[addrs], lanes), lanes)
+        new_max = np.where(valid, np.maximum(self.r_max[addrs], lanes), lanes)
+        # Lanes ascend, so a forward scatter keeps the max for duplicate
+        # addresses and a reversed scatter keeps the min.
+        self.r_min[addrs[::-1]] = new_min[::-1]
+        self.r_max[addrs] = new_max
+        self.r_stamp[addrs] = seg
+
+    def note_write(
+        self, addrs: np.ndarray, lanes: np.ndarray, seg: int, base: int
+    ) -> None:
+        l0 = self.lanes_per_group
+        groups = lanes // l0
+        w_stamp = self.w_stamp[addrs]
+        writer = self.writer[addrs]
+        conflict = (
+            (w_stamp >= base)
+            & (writer != lanes)
+            & ((w_stamp == seg) | (writer // l0 != groups))
+        )
+        r_stamp = self.r_stamp[addrs]
+        r_min = self.r_min[addrs]
+        r_max = self.r_max[addrs]
+        conflict |= (
+            (r_stamp >= base)
+            & ((r_min != lanes) | (r_max != lanes))
+            & (
+                (r_stamp == seg)
+                | (r_min // l0 != groups)
+                | (r_max // l0 != groups)
+            )
+        )
+        if bool(np.any(conflict)):
+            raise VectorUnsupported(
+                "cross-lane write/read conflict (order-dependent result)"
+            )
+        self.writer[addrs] = lanes
+        self.w_stamp[addrs] = seg
+
+
+class _LoadLog:
+    """Deferred per-buffer load accounting (see ``_Block._log_load``)."""
+
+    __slots__ = ("array", "space", "width_units", "chunks", "events", "_pending")
+
+    #: Compact (deduplicate) the pending chunks past this many entries.
+    COMPACT_AT = 1 << 22
+
+    def __init__(self, array: np.ndarray, space: str, width: int):
+        self.array = array  # keep the buffer alive while its id is a key
+        self.space = space
+        self.width_units = width if width else 1
+        self.chunks: list = []
+        self.events = 0
+        self._pending = 0
+
+    def add(self, encoded: np.ndarray, n: int) -> None:
+        self.chunks.append(encoded)
+        self.events += n
+        self._pending += n
+        if self._pending > self.COMPACT_AT:
+            self.chunks = [np.unique(np.concatenate(self.chunks))]
+            self._pending = len(self.chunks[0])
+
+    def totals(self) -> tuple:
+        if not self.chunks:
+            return 0, 0
+        distinct = np.unique(np.concatenate(self.chunks)).size
+        return self.events, int(distinct)
+
+
+def _vclamp(x, lo, hi):
+    return np.minimum(np.maximum(x, lo), hi)
+
+
+def _refuse_dot(*_args):
+    raise VectorUnsupported("builtin 'dot' is not lane-batchable")
+
+
+def _refuse_length(*_args):
+    raise VectorUnsupported("builtin 'length' is not lane-batchable")
+
+
+#: Lane-safe builtin table: same names and flop costs as the scalar
+#: interpreter, with implementations that work element-wise over lanes.
+_VMATH = {
+    name: (cost, fn) for name, (cost, fn) in _MATH_BUILTINS.items()
+}
+_VMATH.update(
+    {
+        "min": (1, np.minimum),
+        "max": (1, np.maximum),
+        "clamp": (2, _vclamp),
+        "dot": (7, _refuse_dot),
+        "length": (11, _refuse_length),
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# launcher
+# ---------------------------------------------------------------------------
+
+def try_launch(
+    parsed: ParsedProgram,
+    kernel: c.CFunctionDef,
+    gsize: tuple,
+    lsize: tuple,
+    base_env: dict,
+    local_decls: list,
+    counters: Counters,
+    strict: bool = False,
+) -> bool:
+    """Run the launch on the vector engine.
+
+    Returns ``True`` on success (counters merged, buffers written).  On a
+    dynamic :class:`VectorUnsupported` the global buffers are restored
+    from a snapshot and ``False`` is returned so the caller can re-run
+    the scalar path — unless ``strict`` (``engine="vector"``), which
+    re-raises as :class:`VectorizationError`.
+    """
+    snapshot = [
+        (v.array, v.array.copy())
+        for v in base_env.values()
+        if isinstance(v, Pointer)
+    ]
+    staged = Counters()
+    try:
+        with np.errstate(all="ignore"):
+            _run_blocks(parsed, kernel, gsize, lsize, base_env, local_decls, staged)
+    except VectorUnsupported as exc:
+        if strict:
+            raise VectorizationError(str(exc)) from exc
+        for array, saved in snapshot:
+            array[:] = saved
+        return False
+    for name in vars(staged):
+        setattr(counters, name, getattr(counters, name) + getattr(staged, name))
+    return True
+
+
+def _run_blocks(parsed, kernel, gsize, lsize, base_env, local_decls, counters):
+    num_groups = tuple(g // l for g, l in zip(gsize, lsize))
+    total_groups = num_groups[0] * num_groups[1] * num_groups[2]
+    lanes_per_group = lsize[0] * lsize[1] * lsize[2]
+    block_groups = max(
+        1, min(total_groups, MAX_LANES // max(1, lanes_per_group))
+    )
+
+    # Lane order within a group matches the scalar scheduler: z-outer,
+    # y-middle, x-inner.
+    l0 = np.arange(lanes_per_group)
+    lid_group = (
+        l0 % lsize[0],
+        (l0 // lsize[0]) % lsize[1],
+        l0 // (lsize[0] * lsize[1]),
+    )
+
+    for start in range(0, total_groups, block_groups):
+        ords = np.arange(start, min(start + block_groups, total_groups))
+        n_groups = len(ords)
+        lanes = n_groups * lanes_per_group
+        group_dims = (
+            ords % num_groups[0],
+            (ords // num_groups[0]) % num_groups[1],
+            ords // (num_groups[0] * num_groups[1]),
+        )
+        group_row = np.repeat(np.arange(n_groups), lanes_per_group)
+        lid = tuple(np.tile(lid_group[d], n_groups) for d in range(3))
+        group_ids = tuple(group_dims[d][group_row] for d in range(3))
+        gid = tuple(group_ids[d] * lsize[d] + lid[d] for d in range(3))
+
+        block = _Block(
+            parsed, counters, lanes, group_row, lid, gid, group_ids,
+            gsize, lsize, num_groups,
+        )
+        env = dict(base_env)
+        for name, value in env.items():
+            if isinstance(value, Pointer):
+                env[name] = VPtr(value.array, value.offset, value.space)
+        for decl in local_decls:
+            dtype = (
+                np.int64 if decl.type_name in ("int", "uint", "long") else np.float64
+            )
+            env[decl.name] = RowPtr(
+                np.zeros((n_groups, decl.array_size), dtype=dtype),
+                group_row,
+                0,
+                "local",
+            )
+        block.env = env
+        block.run(kernel)
+    counters.work_items += total_groups * lanes_per_group

@@ -81,13 +81,17 @@ def autotune(
     candidates: Optional[Iterable[Candidate]] = None,
     device: str = "nvidia",
     rtol: float = 1e-9,
+    engine: Optional[str] = None,
 ) -> list:
     """Compile, run, verify and rank every candidate schedule.
 
     Returns the surviving candidates' :class:`TuningResult` list, sorted
     best (fewest estimated cycles) first.  Candidates that fail to
     compile are skipped; candidates that compute a wrong answer raise —
-    a miscompiled schedule is a bug, not a slow schedule.
+    a miscompiled schedule is a bug, not a slow schedule.  ``engine``
+    picks the simulator engine for every candidate execution (the
+    default ``auto`` runs vectorizable kernels on the lane-batched SIMT
+    engine, which is what makes the execute-and-rank loop fast).
     """
     if candidates is None:
         first_len = len(np.asarray(next(iter(inputs.values()))).ravel())
@@ -106,7 +110,7 @@ def autotune(
 
         run = execute_kernel(
             kernel, inputs, size_env, candidate.global_size,
-            local_size=candidate.local_size,
+            local_size=candidate.local_size, engine=engine,
         )
 
         if reference is None:

@@ -1,0 +1,497 @@
+"""Tests for the lane-batched SIMT engine (repro.opencl.simt).
+
+The engine's contract is exact equivalence with the scalar NDRange
+interpreter: bitwise-identical buffers and identical counters.  The
+tests here check that contract on divergent control flow (masked
+``if``/``for``/``while``), short-circuit evaluation, helpers with early
+returns, struct accumulators, and the fallback paths (static analysis
+refusals and dynamic cross-lane race detection).
+"""
+
+import numpy as np
+import pytest
+
+from repro.opencl import (
+    Buffer,
+    OpenCLProgram,
+    VectorizationError,
+    analyze_kernel,
+    launch,
+)
+from repro.opencl.interp import BarrierDivergence
+from repro.opencl.runtime import _parse_cached
+
+
+def run_both(source, global_size, local_size, make_args, kernel_name=None):
+    """Run a kernel on both engines; return (scalar, vector) results.
+
+    ``make_args`` builds a fresh argument dict (with fresh output
+    buffers) per engine so the engines cannot observe each other.
+    """
+    results = []
+    for engine in ("scalar", "vector"):
+        program = OpenCLProgram(source)
+        args = make_args()
+        counters = launch(
+            program, global_size, local_size, args,
+            kernel_name=kernel_name, engine=engine,
+        )
+        outs = {
+            name: v.data.copy()
+            for name, v in args.items()
+            if isinstance(v, Buffer)
+        }
+        results.append((outs, counters))
+    return results
+
+
+def assert_engines_agree(source, global_size, local_size, make_args):
+    (outs_s, c_s), (outs_v, c_v) = run_both(
+        source, global_size, local_size, make_args
+    )
+    for name in outs_s:
+        np.testing.assert_array_equal(
+            outs_s[name], outs_v[name],
+            err_msg=f"buffer {name!r} differs between engines",
+        )
+    assert vars(c_s) == vars(c_v), (
+        f"counters differ:\nscalar: {vars(c_s)}\nvector: {vars(c_v)}"
+    )
+
+
+class TestDivergentControlFlow:
+    """Masked if/for/while kernels, checked lane-for-lane vs. scalar."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_masked_if_else(self, seed):
+        src = """
+        kernel void K(const global float * restrict x, global float *out, int n) {
+          int i = get_global_id(0);
+          if (i < n) {
+            if (x[i] > 0.5f) { out[i] = x[i] * 2.0f; }
+            else { out[i] = x[i] - 1.0f; }
+          }
+        }
+        """
+        rng = np.random.default_rng(seed)
+        x = rng.random(64)
+        assert_engines_agree(
+            src, 64, 16,
+            lambda: {"x": Buffer.from_array(x.copy()),
+                     "out": Buffer.zeros(64), "n": 48},
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_data_dependent_while(self, seed):
+        # Collatz-style loop: every lane runs a different trip count.
+        src = """
+        kernel void K(const global int * restrict x, global int *out,
+                      global int *steps) {
+          int i = get_global_id(0);
+          int v = x[i];
+          int count = 0;
+          while (v != 1) {
+            if (v % 2 == 0) { v = v / 2; }
+            else { v = 3 * v + 1; }
+            count += 1;
+          }
+          out[i] = v;
+          steps[i] = count;
+        }
+        """
+        rng = np.random.default_rng(seed)
+        x = rng.integers(1, 50, size=32)
+        assert_engines_agree(
+            src, 32, 8,
+            lambda: {"x": Buffer.from_array(x.copy()),
+                     "out": Buffer.zeros(32, "int"),
+                     "steps": Buffer.zeros(32, "int")},
+        )
+
+    def test_divergent_for_bounds(self):
+        # Per-lane loop bound: lane i iterates i times.
+        src = """
+        kernel void K(global float *out, int n) {
+          int i = get_global_id(0);
+          float acc = 0.0f;
+          for (int k = 0; k < i; k += 1) { acc = acc + (float) k; }
+          out[i] = acc;
+        }
+        """
+        assert_engines_agree(
+            src, 32, 8, lambda: {"out": Buffer.zeros(32), "n": 32}
+        )
+
+    def test_short_circuit_masks_side_counts(self):
+        # The && rhs only loads for lanes whose lhs is true; the load and
+        # iop counters must reflect that exactly.
+        src = """
+        kernel void K(const global float * restrict x, global float *out, int n) {
+          int i = get_global_id(0);
+          if (i < n && x[i] > 0.25f) { out[i] = 1.0f; }
+          if (i >= n || x[i] < 0.75f) { out[i] = out[i] + 0.5f; }
+        }
+        """
+        rng = np.random.default_rng(3)
+        x = rng.random(64)
+        assert_engines_agree(
+            src, 64, 16,
+            lambda: {"x": Buffer.from_array(x.copy()),
+                     "out": Buffer.zeros(64), "n": 40},
+        )
+
+    def test_ternary_per_lane(self):
+        src = """
+        kernel void K(const global float * restrict x, global float *out) {
+          int i = get_global_id(0);
+          out[i] = (x[i] > 0.5f) ? x[i] * 10.0f : x[i] * 0.5f;
+        }
+        """
+        rng = np.random.default_rng(5)
+        x = rng.random(32)
+        assert_engines_agree(
+            src, 32, 8,
+            lambda: {"x": Buffer.from_array(x.copy()), "out": Buffer.zeros(32)},
+        )
+
+    def test_helper_with_masked_early_return(self):
+        # md-style helper: early return under a divergent condition.
+        src = """
+        float guard(float v) {
+          if (v < 0.5f) { return 0.0f; }
+          return v * v;
+        }
+        kernel void K(const global float * restrict x, global float *out) {
+          int i = get_global_id(0);
+          out[i] = guard(x[i]);
+        }
+        """
+        rng = np.random.default_rng(7)
+        x = rng.random(32)
+        assert_engines_agree(
+            src, 32, 8,
+            lambda: {"x": Buffer.from_array(x.copy()), "out": Buffer.zeros(32)},
+        )
+
+    def test_struct_accumulator_masked_members(self):
+        # kmeans-style argmin with struct members merged under masks.
+        src = """
+        typedef struct { float _0; float _1; } T2;
+        kernel void K(const global float * restrict x, global float *out, int k) {
+          int i = get_global_id(0);
+          T2 best;
+          best._0 = 1.0e30f;
+          best._1 = 0.0f;
+          for (int j = 0; j < k; j += 1) {
+            float d = x[i * k + j];
+            if (d < best._0) { best._0 = d; best._1 = (float) j; }
+          }
+          out[i] = best._1;
+        }
+        """
+        rng = np.random.default_rng(11)
+        k = 5
+        x = rng.random(16 * k)
+        assert_engines_agree(
+            src, 16, 4,
+            lambda: {"x": Buffer.from_array(x.copy()),
+                     "out": Buffer.zeros(16), "k": k},
+        )
+
+    def test_kernel_early_return(self):
+        src = """
+        kernel void K(global float *out, int n) {
+          int i = get_global_id(0);
+          if (i >= n) { return; }
+          out[i] = (float) i;
+        }
+        """
+        assert_engines_agree(
+            src, 32, 8, lambda: {"out": Buffer.zeros(32), "n": 20}
+        )
+
+    def test_cached_loads_match(self):
+        # Re-loading the same address must hit the per-item load cache
+        # identically on both engines (including the shared address that
+        # every lane loads).
+        src = """
+        kernel void K(const global float * restrict x, global float *out, int n) {
+          int i = get_global_id(0);
+          float pivot = x[0];
+          float acc = 0.0f;
+          for (int k = 0; k < n; k += 1) { acc = acc + x[i] * pivot; }
+          out[i] = acc;
+        }
+        """
+        (outs_s, c_s), (outs_v, c_v) = run_both(
+            src, 16, 4,
+            lambda: {"x": Buffer.from_array(np.arange(16, dtype=float) + 1),
+                     "out": Buffer.zeros(16), "n": 3},
+        )
+        assert c_s.cached_loads > 0
+        assert vars(c_s) == vars(c_v)
+        np.testing.assert_array_equal(outs_s["out"], outs_v["out"])
+
+
+class TestBarriers:
+    def test_group_uniform_barrier_loop(self):
+        # Strided work-group loop with a barrier inside: the trip count
+        # differs per group (group-uniform, not globally uniform).
+        src = """
+        kernel void K(const global float * restrict x, global float *out, int n) {
+          local float tmp[4];
+          int l = get_local_id(0);
+          for (int wg = get_group_id(0); wg < n / 4; wg += get_num_groups(0)) {
+            tmp[l] = x[wg * 4 + l];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[wg * 4 + l] = tmp[3 - l] * 2.0f;
+            barrier(CLK_LOCAL_MEM_FENCE);
+          }
+        }
+        """
+        x = np.arange(32, dtype=float)
+        assert_engines_agree(
+            src, 8, 4,
+            lambda: {"x": Buffer.from_array(x.copy()),
+                     "out": Buffer.zeros(32), "n": 32},
+        )
+
+    def test_reduction_tree(self):
+        src = """
+        kernel void K(const global float * restrict x, global float *out) {
+          local float tmp[8];
+          int l = get_local_id(0);
+          tmp[l] = x[get_global_id(0)];
+          barrier(CLK_LOCAL_MEM_FENCE);
+          for (int s = 4; s > 0; s = s / 2) {
+            if (l < s) { tmp[l] = tmp[l] + tmp[l + s]; }
+            barrier(CLK_LOCAL_MEM_FENCE);
+          }
+          if (l < 1) { out[get_group_id(0)] = tmp[0]; }
+        }
+        """
+        rng = np.random.default_rng(13)
+        x = rng.random(32)
+        assert_engines_agree(
+            src, 32, 8,
+            lambda: {"x": Buffer.from_array(x.copy()), "out": Buffer.zeros(4)},
+        )
+
+    def test_barrier_divergence_still_raises_via_fallback(self):
+        # A barrier under a lane-divergent condition is statically
+        # rejected by the vector engine; the scalar fallback must keep
+        # raising BarrierDivergence.
+        src = """
+        kernel void K(global float *x) {
+          if (get_local_id(0) < 1) { barrier(CLK_LOCAL_MEM_FENCE); }
+          x[get_global_id(0)] = 1.0f;
+        }
+        """
+        program = OpenCLProgram(src)
+        reason = analyze_kernel(program.parsed, program.kernel())
+        assert reason is not None and "lane-divergent" in reason
+        with pytest.raises(BarrierDivergence):
+            launch(program, 2, 2, {"x": Buffer.zeros(2)})
+        with pytest.raises(VectorizationError):
+            launch(program, 2, 2, {"x": Buffer.zeros(2)}, engine="vector")
+
+
+class TestFallback:
+    def test_analysis_accepts_plain_kernel(self):
+        program = OpenCLProgram(
+            "kernel void K(global float *x) { x[get_global_id(0)] = 1.0f; }"
+        )
+        assert analyze_kernel(program.parsed, program.kernel()) is None
+
+    def test_analysis_rejects_barrier_plus_return(self):
+        src = """
+        kernel void K(global float *x, int n) {
+          if (get_global_id(0) >= n) { return; }
+          barrier(CLK_LOCAL_MEM_FENCE);
+          x[get_global_id(0)] = 1.0f;
+        }
+        """
+        program = OpenCLProgram(src)
+        reason = analyze_kernel(program.parsed, program.kernel())
+        assert reason is not None and "return" in reason
+
+    def test_analysis_rejects_unknown_function(self):
+        src = "kernel void K(global float *x) { x[0] = mystery(x[0]); }"
+        program = OpenCLProgram(src)
+        assert analyze_kernel(program.parsed, program.kernel()) is not None
+
+    def test_dynamic_race_falls_back_to_scalar(self):
+        # Every work-item stages its value through the *same* scratch
+        # cell — the scalar interpreter's sequential item order makes
+        # this "work"; the vector engine must detect the cross-lane race
+        # at run time, roll back, and reproduce the scalar result.
+        src = """
+        kernel void K(const global float * restrict x, global float *scratch,
+                      global float *out) {
+          int i = get_global_id(0);
+          scratch[0] = x[i];
+          out[i] = scratch[0] * 2.0f;
+        }
+        """
+        x = np.arange(8, dtype=float)
+        program = OpenCLProgram(src)
+        assert analyze_kernel(program.parsed, program.kernel()) is None
+
+        def args():
+            return {"x": Buffer.from_array(x.copy()),
+                    "scratch": Buffer.zeros(1), "out": Buffer.zeros(8)}
+
+        a_s = args()
+        c_s = launch(program, 8, 4, a_s, engine="scalar")
+        a_auto = args()
+        c_auto = launch(program, 8, 4, a_auto)  # auto: tries vector, falls back
+        np.testing.assert_array_equal(a_s["out"].data, a_auto["out"].data)
+        np.testing.assert_array_equal(a_s["scratch"].data, a_auto["scratch"].data)
+        assert vars(c_s) == vars(c_auto)
+        with pytest.raises(VectorizationError):
+            launch(program, 8, 4, args(), engine="vector")
+
+    def test_cross_group_race_across_barrier_falls_back(self):
+        # Barriers order work-items *within* a group, never groups; the
+        # scalar engine runs groups sequentially (group 0 first), so a
+        # cross-group conflict is order-dependent even when a barrier
+        # separates the write from the read.  The vector engine must
+        # detect it at any segment distance and fall back.
+        src = """
+        kernel void K(global float *flag, global float *out) {
+          int i = get_global_id(0);
+          if (get_group_id(0) == 1) { flag[0] = 1.0f; }
+          barrier(CLK_LOCAL_MEM_FENCE);
+          if (get_group_id(0) == 0) { out[i] = flag[0]; }
+        }
+        """
+        program = OpenCLProgram(src)
+        assert analyze_kernel(program.parsed, program.kernel()) is None
+
+        def args():
+            return {"flag": Buffer.zeros(1), "out": Buffer.zeros(8)}
+
+        a_s = args()
+        c_s = launch(program, 8, 4, a_s, engine="scalar")
+        a_auto = args()
+        c_auto = launch(program, 8, 4, a_auto)
+        # Group 0 runs first in the scalar engine, so it reads 0.0.
+        np.testing.assert_array_equal(a_s["out"].data, np.zeros(8))
+        np.testing.assert_array_equal(a_s["out"].data, a_auto["out"].data)
+        assert vars(c_s) == vars(c_auto)
+        with pytest.raises(VectorizationError):
+            launch(program, 8, 4, args(), engine="vector")
+
+    def test_rollback_restores_buffers(self):
+        # The race is only hit after some lanes already stored; auto mode
+        # must restore the pre-launch buffer contents before re-running.
+        src = """
+        kernel void K(global float *out, global float *scratch) {
+          int i = get_global_id(0);
+          out[i] = 7.0f;
+          scratch[0] = (float) i;
+          out[i] = out[i] + scratch[0];
+        }
+        """
+        program = OpenCLProgram(src)
+        out = Buffer.from_array(np.full(8, -1.0))
+        scratch = Buffer.zeros(1)
+        launch(program, 8, 8, {"out": out, "scratch": scratch})
+        expected = Buffer.from_array(np.full(8, -1.0))
+        scratch2 = Buffer.zeros(1)
+        launch(program, 8, 8, {"out": expected, "scratch": scratch2},
+               engine="scalar")
+        np.testing.assert_array_equal(out.data, expected.data)
+
+    def test_unknown_engine_rejected(self):
+        program = OpenCLProgram(
+            "kernel void K(global float *x) { x[0] = 1.0f; }"
+        )
+        with pytest.raises(ValueError):
+            launch(program, 1, 1, {"x": Buffer.zeros(1)}, engine="warp")
+
+
+class TestParseCache:
+    def test_identical_source_shares_parse(self):
+        src = "kernel void K(global float *x) { x[0] = 1.0f; }"
+        a = OpenCLProgram(src)
+        b = OpenCLProgram(src)
+        assert a.parsed is b.parsed
+
+    def test_distinct_sources_do_not_collide(self):
+        a = OpenCLProgram("kernel void K(global float *x) { x[0] = 1.0f; }")
+        b = OpenCLProgram("kernel void K(global float *x) { x[0] = 2.0f; }")
+        assert a.parsed is not b.parsed
+
+    def test_cache_is_bounded(self):
+        maxsize = _parse_cached.cache_info().maxsize
+        for i in range(maxsize + 16):
+            OpenCLProgram(
+                f"kernel void K(global float *x) {{ x[0] = {i}.0f; }}"
+            )
+        assert _parse_cached.cache_info().currsize <= maxsize
+
+
+class TestSimplifyMemoization:
+    def test_simplify_cache_hits(self):
+        import sys
+
+        S = sys.modules["repro.arith.simplify"]
+        from repro.arith.expr import Cst, IntDiv, Prod, Sum, Var
+        from repro.arith.ranges import Range
+
+        S.clear_caches()
+        n = Var("N", Range.natural())
+        i = Var("i", Range.of(0, n))
+        expr = Sum([Prod([i, Cst(4)]), IntDiv(i, n)])
+        first = S.simplify(expr)
+        assert len(S._SIMPLIFY_CACHE) > 0
+        again = S.simplify(Sum([Prod([i, Cst(4)]), IntDiv(i, n)]))
+        assert first == again
+
+    def test_range_is_part_of_the_key(self):
+        import sys
+
+        S = sys.modules["repro.arith.simplify"]
+        from repro.arith.expr import Mod, Var
+        from repro.arith.ranges import Range
+
+        S.clear_caches()
+        # i in [0, 8) mod 8 simplifies to i; i in [0, 64) mod 8 must not.
+        small = Var("i", Range.of(0, 8))
+        large = Var("i", Range.of(0, 64))
+        assert S.simplify(Mod(small, S.Cst(8))) == small
+        result = S.simplify(Mod(large, S.Cst(8)))
+        assert isinstance(result, Mod)
+
+    def test_prove_lt_cached(self):
+        import sys
+
+        S = sys.modules["repro.arith.simplify"]
+        from repro.arith.expr import Var
+        from repro.arith.ranges import Range
+
+        S.clear_caches()
+        n = Var("N", Range.natural())
+        i = Var("i", Range.of(0, n))
+        assert S.prove_lt(i, n)
+        assert len(S._PROVE_LT_CACHE) == 1
+        assert S.prove_lt(Var("i", Range.of(0, n)), Var("N", Range.natural()))
+
+
+class TestVectorBenchsuiteParity:
+    """Spot-check full-benchmark parity (the exhaustive sweep runs in
+    the benchsuite tests; these two cover the local-memory and
+    helper-function heavy paths)."""
+
+    @pytest.mark.parametrize("name", ["gemv", "kmeans"])
+    def test_reference_and_generated_parity(self, name):
+        from repro.benchsuite.common import get_benchmark
+
+        bench = get_benchmark(name)
+        inputs, size_env = bench.inputs_for("small")
+        for runner in (bench.run_reference, bench.run_generated):
+            out_s, c_s = runner(inputs, size_env, engine="scalar")
+            out_a, c_a = runner(inputs, size_env)
+            np.testing.assert_array_equal(out_s, out_a)
+            assert vars(c_s) == vars(c_a)
