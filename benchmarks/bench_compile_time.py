@@ -16,7 +16,9 @@ def test_compile_dot_product(benchmark):
     options = CompilerOptions(local_size=(64, 1, 1))
 
     def compile_it():
-        return compile_kernel(partial_dot(), options)
+        # memo=False: measure a real compilation, not the structural-key
+        # compile memo.
+        return compile_kernel(partial_dot(), options, memo=False)
 
     kernel = benchmark(compile_it)
     assert "kernel void" in kernel.source
@@ -28,6 +30,24 @@ def test_compile_benchmark_kernels(benchmark, name):
     size_env = dict(bench.sizes["small"])
     stage = bench.stages[0]
     options = CompilerOptions(local_size=stage.local_size)
+
+    def compile_it():
+        return compile_kernel(stage.build(size_env), options, memo=False)
+
+    kernel = benchmark(compile_it)
+    assert "kernel void" in kernel.source
+
+
+@pytest.mark.parametrize("name", ["mm-nvidia"])
+def test_compile_memo_hit(benchmark, name):
+    """Repeat compiles of a structurally identical program are served by
+    the structural-key memo — the dominant figure8 cost is compilation,
+    and every lowering recipe/autotune candidate recompiles clones."""
+    bench = get_benchmark(name)
+    size_env = dict(bench.sizes["small"])
+    stage = bench.stages[0]
+    options = CompilerOptions(local_size=stage.local_size)
+    compile_kernel(stage.build(size_env), options)  # prime the memo
 
     def compile_it():
         return compile_kernel(stage.build(size_env), options)

@@ -1,0 +1,108 @@
+"""Rewrite-space exploration: search throughput and cache effectiveness.
+
+Tracks the cost of a full derivation-space exploration (enumerate →
+dedup → prune → compile → simulate → verify) and what the persistent
+:mod:`repro.cache` store buys on a second run.  ``python
+benchmarks/bench_explore.py`` regenerates the committed baseline
+``BENCH_explore.json`` (candidates enumerated, dedup hit-rate, cache
+hit-rate, best-vs-menu cycles, cold vs warm wall time).
+"""
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cache import TuningCache
+from repro.benchsuite.explore import explore_benchmark, run_explore
+
+
+def test_explore_warm_cache_skips_all_recompilation(tmp_path):
+    """A second exploration with a warm store performs zero
+    recompilations and zero re-executions, and is faster than the cold
+    run (the tentpole acceptance criterion)."""
+    cache = TuningCache(tmp_path)
+
+    start = time.perf_counter()
+    cold = explore_benchmark("nn", depth=2, max_eval=6, cache=cache)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = explore_benchmark("nn", depth=2, max_eval=6, cache=cache)
+    warm_seconds = time.perf_counter() - start
+
+    assert cold["stats"]["compilations"] > 0
+    assert warm["stats"]["compilations"] == 0
+    assert warm["stats"]["executions"] == 0
+    assert warm["stats"]["kernel_cache_hit_rate"] == 1.0
+    assert warm["stats"]["cycle_cache_hit_rate"] == 1.0
+    assert warm["explorer_best_cycles"] == cold["explorer_best_cycles"]
+    assert warm_seconds < cold_seconds
+
+
+def test_explore_warm_throughput(benchmark, tmp_path):
+    cache = TuningCache(tmp_path)
+    explore_benchmark("nn", depth=2, max_eval=6, cache=cache)  # warm the store
+
+    result = benchmark(
+        lambda: explore_benchmark("nn", depth=2, max_eval=6, cache=cache)
+    )
+    assert result["stats"]["compilations"] == 0
+
+
+@pytest.mark.parametrize("name", ["gemv", "mm-nvidia"])
+def test_explorer_beats_menu(tmp_path, name):
+    cache = TuningCache(tmp_path)
+    entry = explore_benchmark(name, depth=3, max_eval=10, cache=cache)
+    assert entry["explorer_best_cycles"] <= entry["menu_best_cycles"]
+
+
+def main(out_path: str = None) -> None:
+    out = Path(out_path or Path(__file__).parent / "BENCH_explore.json")
+    cache_dir = tempfile.mkdtemp(prefix="repro-explore-bench-")
+
+    start = time.perf_counter()
+    cold = run_explore(depth=3, max_eval=12, cache_dir=cache_dir)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_explore(depth=3, max_eval=12, cache_dir=cache_dir)
+    warm_seconds = time.perf_counter() - start
+
+    summary = {}
+    for c, w in zip(cold["benchmarks"], warm["benchmarks"]):
+        summary[c["benchmark"]] = {
+            "enumerated": c["stats"]["enumerated"],
+            "dedup_hit_rate": c["stats"]["dedup_hit_rate"],
+            "best_vs_menu": round(c["best_vs_menu"], 4),
+            "explorer_best_cycles": c["explorer_best_cycles"],
+            "menu_best_cycles": c["menu_best_cycles"],
+            "best_trace": c["explorer_best_trace"],
+            "cold_seconds": c["explore_seconds"],
+            "warm_seconds": w["explore_seconds"],
+            "warm_compilations": w["stats"]["compilations"],
+            "warm_kernel_cache_hit_rate": w["stats"]["kernel_cache_hit_rate"],
+            "warm_cycle_cache_hit_rate": w["stats"]["cycle_cache_hit_rate"],
+        }
+
+    data = {
+        "description": (
+            "Rewrite-space exploration baseline: candidates enumerated, "
+            "dedup/cache hit-rates and best-vs-menu cycles per benchmark; "
+            "recorded on the PR that introduced repro.rewrite.explore and "
+            "the persistent repro.cache store."
+        ),
+        "config": cold["config"],
+        "cold_total_seconds": round(cold_seconds, 3),
+        "warm_total_seconds": round(warm_seconds, 3),
+        "benchmarks": summary,
+    }
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -72,6 +72,23 @@ def main() -> None:
     print("\nBoth lowerings compute the same function; picking between "
           "them is the search problem of the paper's prior work [18].")
 
+    # The full engine: enumerate the derivation tree, dedup by structural
+    # hash, prune with the static cost model, then compile/simulate/verify
+    # the survivors (with a persistent tuning cache, so re-running this
+    # example skips every recompilation).
+    import tempfile
+
+    from repro.cache import TuningCache
+    from repro.rewrite.explore import ExploreConfig, explore_program
+
+    cache = TuningCache(tempfile.mkdtemp(prefix="repro-example-cache-"))
+    result = explore_program(
+        high_level_program(), {"x": x}, {"N": n},
+        config=ExploreConfig(depth=2, max_eval=8), cache=cache,
+    )
+    print("\n=== derivation-tree exploration (depth 2) ===")
+    print(result.describe())
+
 
 if __name__ == "__main__":
     main()

@@ -24,6 +24,7 @@ a generic C compiler lacks (the paper's matrix-transposition example).
 from __future__ import annotations
 
 import math
+import threading as _threading
 from collections import OrderedDict
 from typing import Iterable, Sequence
 
@@ -46,9 +47,24 @@ ONE = Cst(1)
 
 # Re-entrancy guard: while proving side conditions we must not apply the
 # range-based rules again (bounds are themselves simplified expressions),
-# otherwise proofs could recurse without end.
-_proof_depth = 0
+# otherwise proofs could recurse without end.  The depth is thread-local:
+# the rewrite-space explorer compiles candidates on a worker pool, and a
+# shared counter would race (a lost update permanently disables the memo
+# gate below; a cross-thread read could cache a depth-truncated result).
+_tls = _threading.local()
 _MAX_PROOF_DEPTH = 6
+
+
+def _proof_depth() -> int:
+    return getattr(_tls, "proof_depth", 0)
+
+
+def _proof_enter() -> None:
+    _tls.proof_depth = _proof_depth() + 1
+
+
+def _proof_exit() -> None:
+    _tls.proof_depth = _proof_depth() - 1
 
 
 # ---------------------------------------------------------------------------
@@ -66,6 +82,9 @@ _MAX_PROOF_DEPTH = 6
 _SIMPLIFY_CACHE: "OrderedDict[tuple, ArithExpr]" = OrderedDict()
 _PROVE_LT_CACHE: "OrderedDict[tuple, bool]" = OrderedDict()
 _CACHE_SIZE = 4096
+#: Guards the two OrderedDicts (get + move_to_end is not atomic; a
+#: concurrent eviction would raise KeyError under the explorer's pool).
+_CACHE_LOCK = _threading.Lock()
 
 
 def _cache_key(expr: ArithExpr, _depth: int = 0) -> tuple | None:
@@ -95,15 +114,25 @@ def _cache_key(expr: ArithExpr, _depth: int = 0) -> tuple | None:
 
 
 def _cache_put(cache: OrderedDict, key: tuple, value) -> None:
-    cache[key] = value
-    while len(cache) > _CACHE_SIZE:
-        cache.popitem(last=False)
+    with _CACHE_LOCK:
+        cache[key] = value
+        while len(cache) > _CACHE_SIZE:
+            cache.popitem(last=False)
+
+
+def _cache_get(cache: OrderedDict, key: tuple):
+    with _CACHE_LOCK:
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+        return value
 
 
 def clear_caches() -> None:
     """Drop the memoized simplification and proof results."""
-    _SIMPLIFY_CACHE.clear()
-    _PROVE_LT_CACHE.clear()
+    with _CACHE_LOCK:
+        _SIMPLIFY_CACHE.clear()
+        _PROVE_LT_CACHE.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -447,12 +476,11 @@ def simplify(expr: ArithExpr) -> ArithExpr:
     Top-level results (outside any bounds proof) are memoized on the
     expression's structural key.
     """
-    if _proof_depth == 0 and not isinstance(expr, (Cst, Var)):
+    if _proof_depth() == 0 and not isinstance(expr, (Cst, Var)):
         key = _cache_key(expr)
         if key is not None:
-            cached = _SIMPLIFY_CACHE.get(key)
+            cached = _cache_get(_SIMPLIFY_CACHE, key)
             if cached is not None:
-                _SIMPLIFY_CACHE.move_to_end(key)
                 return cached
             result = _simplify_uncached(expr)
             _cache_put(_SIMPLIFY_CACHE, key, result)
@@ -505,14 +533,13 @@ def bound_max(expr: ArithExpr) -> ArithExpr | None:
 
 
 def _bound(expr: ArithExpr, want_max: bool, keep_vars: bool) -> ArithExpr | None:
-    global _proof_depth
-    if _proof_depth >= _MAX_PROOF_DEPTH:
+    if _proof_depth() >= _MAX_PROOF_DEPTH:
         return None
-    _proof_depth += 1
+    _proof_enter()
     try:
         return _bound_inner(expr, want_max, keep_vars)
     finally:
-        _proof_depth -= 1
+        _proof_exit()
 
 
 def _bound_inner(expr: ArithExpr, want_max: bool, keep_vars: bool) -> ArithExpr | None:
@@ -637,24 +664,22 @@ def prove_lt(a: ArithExpr, b: ArithExpr) -> bool:
     Proof outcomes at depth zero are memoized (depth-limited inner
     proofs may be cut short, so only the top level is cacheable).
     """
-    global _proof_depth
-    if _proof_depth >= _MAX_PROOF_DEPTH:
+    if _proof_depth() >= _MAX_PROOF_DEPTH:
         return False
     key = None
-    if _proof_depth == 0:
+    if _proof_depth() == 0:
         ka = _cache_key(a)
         kb = _cache_key(b)
         if ka is not None and kb is not None:
             key = (ka, kb)
-            cached = _PROVE_LT_CACHE.get(key)
+            cached = _cache_get(_PROVE_LT_CACHE, key)
             if cached is not None:
-                _PROVE_LT_CACHE.move_to_end(key)
                 return cached
-    _proof_depth += 1
+    _proof_enter()
     try:
         diff = sub(b, a)
     finally:
-        _proof_depth -= 1
+        _proof_exit()
     lo = _bound(diff, want_max=False, keep_vars=True)
     result = lo is not None and _is_positive(lo)
     if key is not None:
@@ -664,7 +689,7 @@ def prove_lt(a: ArithExpr, b: ArithExpr) -> bool:
 
 def _prove_in_range(x: ArithExpr, y: ArithExpr) -> bool:
     """Side condition of rules (1) and (3): ``0 <= x < y``."""
-    if _proof_depth >= _MAX_PROOF_DEPTH:
+    if _proof_depth() >= _MAX_PROOF_DEPTH:
         return False
     return prove_ge_zero(x) and prove_lt(x, y)
 

@@ -3,6 +3,7 @@
     python -m repro.benchsuite table1
     python -m repro.benchsuite figure6
     python -m repro.benchsuite figure8 [--sizes small large] [--benchmarks nn gemv ...]
+    python -m repro.benchsuite explore [--benchmarks nn gemv ...] [--depth 3] [--cache-dir DIR]
     python -m repro.benchsuite all
 """
 
@@ -19,7 +20,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "figure6", "figure8", "all"],
+        choices=["table1", "figure6", "figure8", "explore", "all"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -28,7 +29,20 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--benchmarks", nargs="+", default=None,
-        help="restrict figure8/table1 to these benchmarks",
+        help="restrict figure8/table1/explore to these benchmarks",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=3,
+        help="rewrite-space search depth for explore",
+    )
+    parser.add_argument(
+        "--max-eval", type=int, default=12,
+        help="how many explore candidates to compile and simulate",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="tuning-cache directory for explore (default: REPRO_CACHE_DIR "
+             "or ~/.cache/repro)",
     )
     args = parser.parse_args(argv)
 
@@ -49,6 +63,18 @@ def main(argv=None) -> int:
 
         cells = run_figure8(args.benchmarks, sizes=tuple(args.sizes))
         print(format_figure8(cells))
+
+    if args.experiment == "explore":
+        from repro.benchsuite.explore import format_explore, run_explore
+
+        data = run_explore(
+            args.benchmarks,
+            depth=args.depth,
+            max_eval=args.max_eval,
+            size=args.sizes[0],
+            cache_dir=args.cache_dir,
+        )
+        print(format_explore(data))
 
     return 0
 

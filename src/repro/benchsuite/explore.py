@@ -1,0 +1,145 @@
+"""Rewrite-space exploration over benchmark programs.
+
+``python -m repro.benchsuite explore [benchmark ...]`` runs the
+derivation-tree search of :mod:`repro.rewrite.explore` on each
+benchmark's portable high-level program, prints the winner with its
+derivation trace, and compares it against the fixed lowering menu of
+:func:`repro.rewrite.autotune.default_candidates` (the paper-era
+baseline).  The same entry points feed ``benchmarks/bench_explore.py``,
+which records the metrics in ``BENCH_explore.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.cache import TuningCache
+from repro.rewrite.autotune import autotune
+from repro.rewrite.explore import ExploreConfig, explore_program
+from repro.benchsuite.common import get_benchmark
+
+#: Benchmarks whose high-level program the explorer currently handles
+#: (single-stage, parameters named after the input dictionary).
+EXPLORABLE = ("nn", "gemv", "mm-nvidia")
+
+
+def explore_benchmark(
+    name: str,
+    depth: int = 3,
+    max_eval: int = 12,
+    size: str = "small",
+    cache: Optional[TuningCache] = None,
+    device: str = "nvidia",
+    engine: Optional[str] = None,
+) -> dict:
+    """Explore one benchmark; returns a JSON-friendly metrics dict."""
+    bench = get_benchmark(name)
+    inputs, size_env = bench.inputs_for(size)
+    high_level = bench.high_level(size_env)
+    config = ExploreConfig(
+        depth=depth, max_eval=max_eval, device=device, engine=engine
+    )
+
+    start = time.perf_counter()
+    result = explore_program(
+        high_level, inputs, size_env, config=config, cache=cache
+    )
+    explore_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    menu_results = autotune(
+        high_level, inputs, size_env, device=device, engine=engine
+    )
+    menu_seconds = time.perf_counter() - start
+
+    best = result.best()
+    menu_best = menu_results[0]
+    return {
+        "benchmark": name,
+        "size": size,
+        "depth": depth,
+        "explorer_best_cycles": best.cycles,
+        "explorer_best_trace": list(best.trace),
+        "menu_best_cycles": menu_best.cycles,
+        "menu_best_label": menu_best.candidate.label,
+        "best_vs_menu": (
+            best.cycles / menu_best.cycles if menu_best.cycles else None
+        ),
+        "explore_seconds": round(explore_seconds, 3),
+        "menu_seconds": round(menu_seconds, 3),
+        "stats": result.stats.as_dict(),
+        "ranking": [
+            {
+                "label": c.label,
+                "cycles": c.cycles,
+                "trace": list(c.trace),
+            }
+            for c in result.candidates[:5]
+        ],
+    }
+
+
+def run_explore(
+    names: Optional[Sequence[str]] = None,
+    depth: int = 3,
+    max_eval: int = 12,
+    size: str = "small",
+    cache_dir: Optional[str] = None,
+    device: str = "nvidia",
+    engine: Optional[str] = None,
+) -> dict:
+    cache = TuningCache(cache_dir) if cache_dir is not None else TuningCache()
+    entries = [
+        explore_benchmark(
+            name, depth=depth, max_eval=max_eval, size=size, cache=cache,
+            device=device, engine=engine,
+        )
+        for name in (names or EXPLORABLE)
+    ]
+    return {
+        "config": {
+            "depth": depth,
+            "max_eval": max_eval,
+            "size": size,
+            "device": device,
+            "cache_dir": str(cache.root),
+        },
+        "benchmarks": entries,
+    }
+
+
+def format_explore(data: dict) -> str:
+    lines = [
+        "Rewrite-space exploration "
+        f"(depth {data['config']['depth']}, size {data['config']['size']}, "
+        f"cache {data['config']['cache_dir']})",
+        "",
+    ]
+    for entry in data["benchmarks"]:
+        ratio = entry["best_vs_menu"]
+        stats = entry["stats"]
+        lines.append(f"== {entry['benchmark']} ==")
+        lines.append(
+            f"  winner: {entry['explorer_best_cycles']:.0f} cycles "
+            f"(menu best {entry['menu_best_cycles']:.0f} = "
+            f"{entry['menu_best_label']}, ratio {ratio:.2f})"
+        )
+        trace = entry["explorer_best_trace"]
+        lines.append(
+            "  derivation: " + (" -> ".join(trace) if trace else "(original)")
+        )
+        lines.append(
+            f"  search: {stats['enumerated']} enumerated, "
+            f"dedup hit-rate {stats['dedup_hit_rate']:.0%}, "
+            f"{stats['evaluated']} evaluated, "
+            f"{stats['compilations']} compiled, "
+            f"kernel cache hit-rate {stats['kernel_cache_hit_rate']:.0%}, "
+            f"cycle cache hit-rate {stats['cycle_cache_hit_rate']:.0%}"
+        )
+        lines.append(
+            f"  time: explore {entry['explore_seconds']:.2f}s, "
+            f"menu {entry['menu_seconds']:.2f}s"
+        )
+        lines.append("")
+    return "\n".join(lines)

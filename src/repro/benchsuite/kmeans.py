@@ -68,7 +68,8 @@ def _dist_acc() -> UserFun:
         "float diff = pc._0 - pc._1; return acc + diff * diff;",
         [FLOAT, TupleType([FLOAT, FLOAT])],
         FLOAT,
-        py=lambda acc, pc: acc + (pc[0] - pc[1]) ** 2,
+        # Multiplication (not pow) to match the C body bitwise.
+        py=lambda acc, pc: acc + (pc[0] - pc[1]) * (pc[0] - pc[1]),
     )
 
 

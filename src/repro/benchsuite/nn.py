@@ -43,8 +43,10 @@ def _dist_fun() -> UserFun:
         " return sqrt(dx * dx + dy * dy);",
         [FLOAT, FLOAT, FLOAT, FLOAT],
         FLOAT,
+        # Mirrors the C body operation-for-operation (multiplication, not
+        # pow) so interpreter and simulator agree bitwise.
         py=lambda plat, plng, lat, lng: float(
-            np.sqrt((plat - lat) ** 2 + (plng - lng) ** 2)
+            np.sqrt((plat - lat) * (plat - lat) + (plng - lng) * (plng - lng))
         ),
     )
 

@@ -1,0 +1,267 @@
+"""Persistent content-addressed store for tuning artifacts.
+
+Exploring the rewrite space means compiling and simulating many
+candidate programs, most of which reappear unchanged on the next run
+(and across ``benchsuite`` invocations).  Following Loo.py's lead on
+caching transformed-kernel artifacts, this module keeps two kinds of
+entries on disk, both addressed by content, never by file name or
+timestamp:
+
+* **kernel entries** — the full :class:`~repro.compiler.codegen.CompiledKernel`
+  (generated OpenCL source plus launch metadata), keyed by the
+  *structural hash* of the IL program (:mod:`repro.ir.structural`, so
+  parameter renaming and cloning do not defeat the cache) combined with
+  the :class:`~repro.compiler.options.CompilerOptions` and the size
+  environment;
+* **cycle entries** — the measured simulated cycle count of one
+  execution, keyed by the kernel key plus a fingerprint of the concrete
+  input arrays, the launch geometry, the device profile and the
+  simulator engine.
+
+Entries are written atomically (temp file + ``os.replace``) and carry a
+format version; a corrupt, truncated or stale entry is treated as a
+miss (and deleted), so the worst failure mode is a recompile.  The
+store root comes from the ``REPRO_CACHE_DIR`` environment variable,
+falling back to ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.compiler.codegen import CompiledKernel
+from repro.compiler.options import CompilerOptions
+from repro.ir.nodes import FunDecl
+from repro.ir.structural import canonical
+
+#: Bump when the on-disk layout or any pickled class changes shape.
+CACHE_VERSION = 1
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def fingerprint_inputs(inputs: Mapping[str, Any]) -> str:
+    """Digest concrete kernel inputs (arrays by bytes, scalars by repr)."""
+    h = hashlib.sha256()
+    for name in sorted(inputs):
+        value = inputs[name]
+        h.update(name.encode())
+        if isinstance(value, np.ndarray) or (
+            hasattr(value, "__len__") and not isinstance(value, str)
+        ):
+            arr = np.ascontiguousarray(np.asarray(value))
+            h.update(str(arr.dtype).encode())
+            h.update(str(arr.shape).encode())
+            h.update(arr.tobytes())
+        else:
+            h.update(repr(value).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`TuningCache` instance."""
+
+    kernel_hits: int = 0
+    kernel_misses: int = 0
+    cycle_hits: int = 0
+    cycle_misses: int = 0
+    puts: int = 0
+    invalid: int = 0
+
+    def kernel_hit_rate(self) -> float:
+        total = self.kernel_hits + self.kernel_misses
+        return self.kernel_hits / total if total else 0.0
+
+    def cycle_hit_rate(self) -> float:
+        total = self.cycle_hits + self.cycle_misses
+        return self.cycle_hits / total if total else 0.0
+
+
+class TuningCache:
+    """On-disk content-addressed store for compiled kernels and timings."""
+
+    def __init__(self, root: "str | Path | None" = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+        # The explorer's worker pool shares one cache: serialize file IO
+        # and stats updates.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _options_token(options: CompilerOptions) -> str:
+        parts = [
+            f"{f.name}={getattr(options, f.name)!r}"
+            for f in sorted(fields(options), key=lambda f: f.name)
+        ]
+        return ";".join(parts)
+
+    def kernel_key(
+        self,
+        program: FunDecl,
+        options: CompilerOptions,
+        size_env: Mapping[str, int],
+    ) -> str:
+        sizes = ";".join(f"{k}={int(v)}" for k, v in sorted(size_env.items()))
+        payload = "\n".join(
+            [
+                f"v{CACHE_VERSION}",
+                canonical(program),
+                self._options_token(options),
+                sizes,
+            ]
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def cycles_key(
+        self,
+        kernel_key: str,
+        inputs_fingerprint: str,
+        global_size,
+        local_size,
+        device: str,
+        engine: Optional[str],
+    ) -> str:
+        payload = "\n".join(
+            [
+                kernel_key,
+                inputs_fingerprint,
+                repr(tuple(global_size) if hasattr(global_size, "__len__") else global_size),
+                repr(tuple(local_size) if hasattr(local_size, "__len__") else local_size),
+                device,
+                engine or "auto",
+            ]
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # low-level file handling
+    # ------------------------------------------------------------------
+    def _path(self, key: str, kind: str) -> Path:
+        return self.root / f"{key}.{kind}"
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _drop(self, path: Path) -> None:
+        self.stats.invalid += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # kernel entries
+    # ------------------------------------------------------------------
+    def get_kernel(self, key: str) -> Optional[CompiledKernel]:
+        with self._lock:
+            return self._get_kernel(key)
+
+    def _get_kernel(self, key: str) -> Optional[CompiledKernel]:
+        path = self._path(key, "kernel")
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.kernel_misses += 1
+            return None
+        try:
+            entry = pickle.loads(raw)
+            if entry["version"] != CACHE_VERSION or entry["key"] != key:
+                raise ValueError("stale cache entry")
+            kernel = entry["kernel"]
+            if not isinstance(kernel, CompiledKernel):
+                raise TypeError("cache entry holds no kernel")
+        except Exception:
+            # Corrupt/stale entries fall back to a recompile.
+            self._drop(path)
+            self.stats.kernel_misses += 1
+            return None
+        self.stats.kernel_hits += 1
+        return kernel
+
+    def put_kernel(self, key: str, kernel: CompiledKernel) -> None:
+        entry = {"version": CACHE_VERSION, "key": key, "kernel": kernel}
+        with self._lock:
+            self._write_atomic(self._path(key, "kernel"), pickle.dumps(entry))
+            self.stats.puts += 1
+
+    # ------------------------------------------------------------------
+    # cycle entries
+    # ------------------------------------------------------------------
+    def get_cycles(self, key: str) -> Optional[float]:
+        with self._lock:
+            return self._get_cycles(key)
+
+    def _get_cycles(self, key: str) -> Optional[float]:
+        path = self._path(key, "cycles.json")
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.stats.cycle_misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if entry["version"] != CACHE_VERSION or entry["key"] != key:
+                raise ValueError("stale cache entry")
+            cycles = float(entry["cycles"])
+        except Exception:
+            self._drop(path)
+            self.stats.cycle_misses += 1
+            return None
+        self.stats.cycle_hits += 1
+        return cycles
+
+    def put_cycles(self, key: str, cycles: float) -> None:
+        entry = {"version": CACHE_VERSION, "key": key, "cycles": float(cycles)}
+        with self._lock:
+            self._write_atomic(
+                self._path(key, "cycles.json"), json.dumps(entry).encode("utf-8")
+            )
+            self.stats.puts += 1
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.iterdir():
+                if path.suffix in (".kernel", ".json") or path.name.startswith(
+                    ".tmp-"
+                ):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

@@ -12,8 +12,12 @@ from repro.ir.nodes import (
     UserFun,
 )
 from repro.ir.typecheck import infer_fun_type, infer_types
+from repro.ir.structural import canonical, structural_eq, structural_hash
 
 __all__ = [
+    "canonical",
+    "structural_eq",
+    "structural_hash",
     "AddressSpace",
     "Expr",
     "FunCall",

@@ -110,3 +110,160 @@ DEVICES = {
     "nvidia": DeviceProfile.nvidia_titan_black(),
     "amd": DeviceProfile.amd_r9_295x2(),
 }
+
+
+# ---------------------------------------------------------------------------
+# static (pre-execution) cost estimate
+# ---------------------------------------------------------------------------
+
+def static_program_cost(fun, size_env, profile: DeviceProfile) -> float:
+    """Estimate total dynamic work of a Lift IL program *without* running it.
+
+    The rewrite-space explorer uses this to prune clearly-bloated
+    candidates (extra materializations, redundant copies) before paying
+    for compilation and simulation.  It is a deliberately rough model of
+    what :func:`estimate_cycles` would report:
+
+    * every user-function application costs its body's operator count in
+      flops, one load per argument and one store into the current
+      address space;
+    * map/reduce trip counts multiply the cost of their bodies (array
+      lengths are evaluated against ``size_env``);
+    * data-layout patterns charge a small per-element index-arithmetic
+      surcharge (``gather``/``scatter``/``transpose`` use the constant
+      div/mod weight — their index functions divide);
+    * every ``mapLcl`` nest charges one barrier.
+
+    Only the *ordering* of candidates matters; absolute numbers are
+    meaningless.  Raises (``LiftTypeError``/``KeyError``) when the
+    program cannot be typed — callers treat that like a compile failure.
+    """
+    from repro.ir.nodes import Lambda
+    from repro.ir.typecheck import infer_types
+    from repro.ir.visit import clone_decl
+
+    prog = clone_decl(fun)
+    assert isinstance(prog, Lambda)
+    infer_types(prog.body)
+    return _StaticEstimator(dict(size_env), profile).expr(prog.body, 1.0, "global")
+
+
+class _StaticEstimator:
+    """Recursive walker behind :func:`static_program_cost`."""
+
+    #: Fallback trip count when a length does not evaluate (fresh probe
+    #: variables introduced by ``iterate`` type inference).
+    DEFAULT_TRIP = 16.0
+
+    def __init__(self, size_env, profile: DeviceProfile):
+        self.size_env = size_env
+        self.profile = profile
+
+    # -- helpers ---------------------------------------------------------
+    def _trip(self, expr) -> float:
+        """Length of ``expr``'s (array-typed) value, as a float."""
+        from repro.arith import simplify
+        from repro.types import ArrayType
+
+        t = expr.type
+        if not isinstance(t, ArrayType):
+            return 1.0
+        try:
+            return float(simplify(t.length).evaluate(self.size_env))
+        except Exception:
+            return self.DEFAULT_TRIP
+
+    @staticmethod
+    def _fun_flops(uf) -> float:
+        """Operator count of a C user-function body (rough flop proxy)."""
+        ops = sum(uf.body.count(ch) for ch in "+-*/")
+        return float(max(1, ops))
+
+    def _store_cost(self, space: str) -> float:
+        return {
+            "global": self.profile.global_access,
+            "local": self.profile.local_access,
+            "private": self.profile.private_access,
+        }[space]
+
+    # -- traversal -------------------------------------------------------
+    def expr(self, e, mult: float, space: str) -> float:
+        from repro.ir.nodes import FunCall, Lambda, UserFun
+        from repro.ir import patterns as pat
+
+        if not isinstance(e, FunCall):
+            return 0.0
+
+        f = e.f
+        while isinstance(f, pat.AddressSpaceWrapper):
+            space = str(f.space)
+            f = f.f
+
+        if isinstance(f, Lambda):
+            total = sum(self.expr(a, mult, space) for a in e.args)
+            return total + self.expr(f.body, mult, space)
+
+        if isinstance(f, UserFun):
+            total = sum(self.expr(a, mult, space) for a in e.args)
+            per_call = (
+                self._fun_flops(f) * self.profile.flop
+                + f.arity * self.profile.cached_load
+                + self._store_cost(space)
+            )
+            return total + mult * per_call
+
+        if isinstance(f, pat.AbstractMap):
+            arg_cost = self.expr(e.args[0], mult, space)
+            trip = self._trip(e.args[0])
+            body = self._decl_body_cost(f.f, mult * trip, space)
+            barrier = (
+                mult * self.profile.barrier if isinstance(f, pat.MapLcl) else 0.0
+            )
+            return arg_cost + body + mult * trip * self.profile.loop_overhead + barrier
+
+        if isinstance(f, pat.ReduceSeq):  # covers Reduce
+            init_cost = self.expr(e.args[0], mult, "private")
+            arr_cost = self.expr(e.args[1], mult, space)
+            trip = self._trip(e.args[1])
+            body = self._decl_body_cost(f.f, mult * trip, "private")
+            return init_cost + arr_cost + body + mult * trip * self.profile.loop_overhead
+
+        if isinstance(f, pat.Iterate):
+            from repro.arith import simplify
+
+            try:
+                n = float(simplify(f.n).evaluate(self.size_env))
+            except Exception:
+                n = self.DEFAULT_TRIP
+            arg_cost = self.expr(e.args[0], mult, space)
+            body = self._decl_body_cost(f.f, mult * n, space)
+            return arg_cost + body
+
+        # Data-layout patterns: children plus an index-arithmetic surcharge.
+        child_cost = sum(self.expr(a, mult, space) for a in e.args)
+        surcharge = self.profile.iop
+        if isinstance(f, (pat.Gather, pat.Scatter, pat.Transpose)):
+            surcharge = self.profile.idivmod_const
+        elif isinstance(f, (pat.Zip, pat.Get, pat.MakeTuple, pat.Head)):
+            surcharge = 0.0
+        return child_cost + mult * self._trip(e) * surcharge * 0.25
+
+    def _decl_body_cost(self, f, mult: float, space: str) -> float:
+        from repro.ir.nodes import Lambda
+        from repro.ir import patterns as pat
+
+        while isinstance(f, pat.AddressSpaceWrapper):
+            space = str(f.space)
+            f = f.f
+        if isinstance(f, Lambda):
+            return self.expr(f.body, mult, space)
+        from repro.ir.nodes import UserFun
+
+        if isinstance(f, UserFun):
+            per_call = (
+                self._fun_flops(f) * self.profile.flop
+                + f.arity * self.profile.cached_load
+                + self._store_cost(space)
+            )
+            return mult * per_call
+        return 0.0

@@ -553,6 +553,22 @@ def _width_of(args: list) -> int:
     return 1
 
 
+def _ordered_dot(a, b):
+    """Component-wise dot with explicit left-to-right summation.
+
+    Deliberately *not* ``np.dot``: BLAS is free to reorder the reduction,
+    while this fixed order is reproduced exactly by the lane-batched SIMT
+    engine (one elementwise multiply-add chain over lane arrays), keeping
+    the two engines bitwise-identical.
+    """
+    if not isinstance(a, np.ndarray):
+        return float(a * b)
+    acc = a[0] * b[0]
+    for i in range(1, len(a)):
+        acc = acc + a[i] * b[i]
+    return float(acc)
+
+
 _MATH_BUILTINS = {
     # name: (flop cost, implementation)
     "sqrt": (4, np.sqrt),
@@ -575,6 +591,6 @@ _MATH_BUILTINS = {
     "mad": (1, lambda a, b, x: a * b + x),
     "fma": (1, lambda a, b, x: a * b + x),
     "clamp": (2, lambda x, lo, hi: min(max(x, lo), hi)),
-    "dot": (7, lambda a, b: float(np.dot(a, b))),
-    "length": (11, lambda a: float(np.sqrt(np.dot(a, a)))),
+    "dot": (7, _ordered_dot),
+    "length": (11, lambda a: float(np.sqrt(_ordered_dot(a, a)))),
 }

@@ -39,9 +39,13 @@ diverge from scalar semantics:
 * a barrier under lane-divergent control flow (this is also how
   ``BarrierDivergence`` keeps being raised: the scalar path detects it),
 * a barrier combined with an early ``return``, or inside a helper,
-* recursive helper functions, calls to unknown functions,
-* the ``dot`` / ``length`` builtins (their BLAS summation order is not
-  guaranteed to be bitwise-stable across shapes).
+* recursive helper functions, calls to unknown functions.
+
+The ``dot`` / ``length`` builtins used to force the scalar fallback
+(their scalar implementation reduced with BLAS, whose summation order is
+shape-dependent); both engines now share an explicitly-ordered
+multiply-add chain (:func:`_lane_dot`), so vector-geometry kernels stay
+on the lane-batched path with bitwise-identical results.
 
 A handful of *dynamic* situations raise :class:`VectorUnsupported`; the
 launcher then restores the global buffers from a snapshot and re-runs
@@ -98,9 +102,11 @@ _GEOM_UNIFORM = {
 _GEOM_LANE = {"get_local_id", "get_global_id"}
 _GEOMETRY = _GEOM_UNIFORM | _GEOM_LANE
 
-#: Builtins whose scalar implementation reduces with BLAS (``np.dot``);
-#: a lane-batched reduction is not guaranteed bitwise-identical.
-_UNSUPPORTED_BUILTINS = {"dot", "length"}
+#: Builtins with no lane-batched implementation.  ``dot``/``length`` used
+#: to live here while their scalar implementation reduced with BLAS
+#: (``np.dot``); both engines now share an explicitly-ordered reduction
+#: (see :func:`_lane_dot`), so the set is currently empty.
+_UNSUPPORTED_BUILTINS: set = set()
 
 _CMP_OPS = ("==", "!=", "<", ">", "<=", ">=")
 
@@ -1338,12 +1344,23 @@ def _vclamp(x, lo, hi):
     return np.minimum(np.maximum(x, lo), hi)
 
 
-def _refuse_dot(*_args):
-    raise VectorUnsupported("builtin 'dot' is not lane-batchable")
+def _lane_dot(a, b):
+    """Lane-batched ``dot``: per-lane multiply-add chain over the vector
+    components, in the same left-to-right order as the scalar
+    interpreter's ``_ordered_dot`` — elementwise IEEE operations over a
+    lane axis are bitwise-identical to the scalar sequence, which is
+    what makes this reduction lane-stable.
+    """
+    if not (isinstance(a, np.ndarray) and a.ndim == 2):
+        return a * b  # scalar dot degenerates to a multiply
+    acc = a[:, 0] * b[:, 0]
+    for i in range(1, a.shape[1]):
+        acc = acc + a[:, i] * b[:, i]
+    return acc
 
 
-def _refuse_length(*_args):
-    raise VectorUnsupported("builtin 'length' is not lane-batchable")
+def _lane_length(a):
+    return np.sqrt(_lane_dot(a, a))
 
 
 #: Lane-safe builtin table: same names and flop costs as the scalar
@@ -1356,8 +1373,8 @@ _VMATH.update(
         "min": (1, np.minimum),
         "max": (1, np.maximum),
         "clamp": (2, _vclamp),
-        "dot": (7, _refuse_dot),
-        "length": (11, _refuse_length),
+        "dot": (7, _lane_dot),
+        "length": (11, _lane_length),
     }
 )
 

@@ -24,8 +24,20 @@ from repro.rewrite.strategies import (
     rewrite_first,
 )
 from repro.rewrite.lowering import lower_to_global, lower_to_work_groups
+from repro.rewrite.explore import (
+    ExplorationResult,
+    ExploreConfig,
+    ExploreStats,
+    ExploredCandidate,
+    explore_program,
+)
 
 __all__ = [
+    "ExplorationResult",
+    "ExploreConfig",
+    "ExploreStats",
+    "ExploredCandidate",
+    "explore_program",
     "RULES",
     "Rewrite",
     "Rule",

@@ -50,27 +50,125 @@ class TuningError(Exception):
     pass
 
 
+def interp_args(fun: Lambda, inputs: Mapping[str, Any], size_env) -> list:
+    """Shape concrete inputs per the program's parameter types for the
+    reference interpreter (nested lists for multi-dimensional arrays)."""
+    from repro.arith import simplify
+    from repro.types import ArrayType
+
+    args = []
+    for p in fun.params:
+        value = inputs[p.name]
+        if isinstance(p.type, ArrayType):
+            dims = []
+            t = p.type
+            while isinstance(t, ArrayType):
+                dims.append(int(simplify(t.length).evaluate(dict(size_env))))
+                t = t.elem
+            args.append(np.asarray(value, dtype=float).reshape(dims).tolist())
+        else:
+            args.append(value)
+    return args
+
+
+def outer_map_length(
+    high_level: Lambda, size_env: Mapping[str, int]
+) -> Optional[int]:
+    """Trip count of the outermost high-level ``map`` — the length the
+    split-join tiling menu must divide.  ``None`` when it cannot be
+    determined (no map on the spine, symbolic size)."""
+    from repro.arith import simplify
+    from repro.types import ArrayType
+    from repro.ir.nodes import FunCall
+    from repro.ir import patterns as pat
+    from repro.ir.typecheck import infer_types
+    from repro.ir.visit import clone_decl
+
+    typed = clone_decl(high_level)
+    assert isinstance(typed, Lambda)
+    try:
+        infer_types(typed.body)
+    except Exception:
+        return None
+
+    def find(e) -> Optional[int]:
+        if not isinstance(e, FunCall):
+            return None
+        f = e.f
+        while isinstance(f, pat.AddressSpaceWrapper):
+            f = f.f
+        if isinstance(f, pat.AbstractMap):
+            arg_t = e.args[0].type
+            if isinstance(arg_t, ArrayType):
+                try:
+                    return int(simplify(arg_t.length).evaluate(dict(size_env)))
+                except Exception:
+                    return None
+        for a in e.args:
+            found = find(a)
+            if found is not None:
+                return found
+        return None
+
+    return find(typed.body)
+
+
+def flat_global_geometry(n: int) -> tuple:
+    """``(local_size, global_size)`` for a flat ``mapGlb`` schedule over
+    ``n`` items: the largest power-of-two local size dividing ``n`` (cap
+    64), and a global size capped at 1024 (generated kernels stride when
+    the NDRange is smaller than the data).  Shared by the fixed menu and
+    the explorer so both sides agree on geometry — and therefore on
+    tuning-cache keys — for the same schedule."""
+    import math
+
+    local0 = math.gcd(n, 64) or 1
+    global0 = n if n <= 1024 else 1024 - (1024 % local0)
+    return (local0, 1, 1), (global0, 1, 1)
+
+
+def _largest_divisor_at_most(n: int, cap: int) -> Optional[int]:
+    """The largest divisor of ``n`` in ``[2, cap]`` (``None`` if none)."""
+    for d in range(min(cap, n), 1, -1):
+        if n % d == 0:
+            return d
+    return None
+
+
 def default_candidates(
     high_level: Lambda, n: int, chunks: Sequence[int] = (32, 64, 128)
 ) -> list:
     """The standard lowering menu: flat global mapping plus work-group
-    tilings at several chunk sizes (the split-join rule's knob)."""
+    tilings at several chunk sizes (the split-join rule's knob).
+
+    When no configured chunk divides ``n`` the menu falls back to the
+    largest divisor of ``n`` below the biggest chunk, so irregular sizes
+    still get a work-group tiling instead of silently degrading to the
+    flat ``mapGlb`` schedule only.
+    """
+    glb_local, glb_global = flat_global_geometry(n)
     candidates = [
-        Candidate(
-            "mapGlb", lower_to_global(high_level), (64, 1, 1), (min(n, 1024), 1, 1)
-        )
+        Candidate("mapGlb", lower_to_global(high_level), glb_local, glb_global)
     ]
+
+    def tiled(chunk: int) -> Candidate:
+        return Candidate(
+            f"mapWrg/mapLcl(chunk={chunk})",
+            lower_to_work_groups(high_level, chunk=chunk),
+            (min(chunk, 64), 1, 1),
+            (n // chunk * min(chunk, 64), 1, 1),
+        )
+
+    any_tiled = False
     for chunk in chunks:
         if n % chunk:
             continue
-        candidates.append(
-            Candidate(
-                f"mapWrg/mapLcl(chunk={chunk})",
-                lower_to_work_groups(high_level, chunk=chunk),
-                (min(chunk, 64), 1, 1),
-                (n // chunk * min(chunk, 64), 1, 1),
-            )
-        )
+        any_tiled = True
+        candidates.append(tiled(chunk))
+    if not any_tiled and chunks:
+        fallback = _largest_divisor_at_most(n, max(chunks))
+        if fallback is not None:
+            candidates.append(tiled(fallback))
     return candidates
 
 
@@ -82,6 +180,8 @@ def autotune(
     device: str = "nvidia",
     rtol: float = 1e-9,
     engine: Optional[str] = None,
+    explore_config=None,
+    cache=None,
 ) -> list:
     """Compile, run, verify and rank every candidate schedule.
 
@@ -92,21 +192,58 @@ def autotune(
     picks the simulator engine for every candidate execution (the
     default ``auto`` runs vectorizable kernels on the lane-batched SIMT
     engine, which is what makes the execute-and-rank loop fast).
+
+    Candidate generation has two modes: the fast preset
+    (:func:`default_candidates`, used when neither ``candidates`` nor
+    ``explore_config`` is given) and the full rewrite-space search of
+    :mod:`repro.rewrite.explore`, selected by passing an
+    :class:`~repro.rewrite.explore.ExploreConfig`.  ``cache`` is an
+    optional :class:`repro.cache.TuningCache`; the menu path uses it to
+    skip recompilations, the explorer additionally caches measured
+    cycles.
     """
+    if candidates is None and explore_config is not None:
+        from repro.rewrite.explore import explore_program
+
+        exploration = explore_program(
+            high_level, inputs, size_env, config=explore_config, cache=cache
+        )
+        results = [
+            TuningResult(
+                Candidate(c.label, c.program, c.local_size, c.global_size),
+                c.cycles,
+                c.kernel_source,
+            )
+            for c in exploration.candidates
+        ]
+        if not results:
+            raise TuningError("exploration produced no runnable candidate")
+        return results
+
     if candidates is None:
-        first_len = len(np.asarray(next(iter(inputs.values()))).ravel())
-        candidates = default_candidates(high_level, first_len)
+        n = outer_map_length(high_level, size_env)
+        if n is None:
+            n = len(np.asarray(next(iter(inputs.values()))).ravel())
+        candidates = default_candidates(high_level, n)
 
     reference = None
     profile = DEVICES[device]
-    results: list[TuningResult] = []
+    results = []
 
     for candidate in candidates:
         options = CompilerOptions(local_size=candidate.local_size)
-        try:
-            kernel = compile_kernel(candidate.program, options)
-        except CodeGenError:
-            continue
+        kernel = None
+        key = None
+        if cache is not None:
+            key = cache.kernel_key(candidate.program, options, size_env)
+            kernel = cache.get_kernel(key)
+        if kernel is None:
+            try:
+                kernel = compile_kernel(candidate.program, options)
+            except CodeGenError:
+                continue
+            if cache is not None:
+                cache.put_kernel(key, kernel)
 
         run = execute_kernel(
             kernel, inputs, size_env, candidate.global_size,
@@ -114,12 +251,7 @@ def autotune(
         )
 
         if reference is None:
-            args = [
-                np.asarray(inputs[p.name]).ravel().tolist()
-                if isinstance(inputs[p.name], np.ndarray)
-                else inputs[p.name]
-                for p in candidate.program.params
-            ]
+            args = interp_args(candidate.program, inputs, size_env)
             reference = np.asarray(
                 apply_fun(candidate.program, args, size_env), dtype=float
             ).ravel()

@@ -1,0 +1,593 @@
+"""Derivation-tree exploration of the rewrite space.
+
+The paper's Figure 1 separates *optimization* (rewrite rules plus
+exploration, prior work [18]) from *code generation*.  The fixed menu in
+:mod:`repro.rewrite.autotune` covers the code-generation evaluation; this
+module closes the optimization loop with an actual search over the rule
+set of :mod:`repro.rewrite.rules`.
+
+Search
+------
+Starting from a high-level ``Lambda``, the engine runs a bounded
+breadth-first enumeration: at every level it applies each rule of the
+menu at every matching position (via
+:func:`repro.rewrite.strategies.find_matches` /
+:func:`~repro.rewrite.strategies.apply_at`), recording the derivation
+trace ``rule@position``.  The frontier is deduplicated with the
+structural hash of :mod:`repro.ir.structural` — alpha-equivalent
+programs (every rule application clones and renames) collapse to one
+node — and capped at ``beam`` programs per level.
+
+Every enumerated derivation is then *finished* into an executable
+schedule: if no parallel map was chosen yet, the outermost high-level
+``map`` becomes ``mapGlb``; remaining high-level patterns are lowered
+sequentially (``map → mapSeq``, ``reduce → reduceSeq``).  A structural
+validity check rejects schedules the OpenCL thread hierarchy cannot
+express (nested ``mapGlb`` over the same dimension, ``mapLcl`` outside a
+work-group, parallel patterns under sequential ones, split factors that
+do not divide their input length).
+
+Pruning
+-------
+Surviving candidates are ranked by the *static* cost estimate
+(:func:`repro.opencl.cost.static_program_cost`) — no compilation or
+execution happens yet — and only the ``max_eval`` cheapest proceed.
+
+Evaluation
+----------
+Survivors go through compile → simulate → verify on a
+``concurrent.futures`` thread pool.  Execution results are verified
+*bitwise* against the reference interpreter running the original
+high-level program (our rules never reorder floating-point reductions,
+so a correct schedule reproduces the exact bits).  Ranking uses the
+measured-counter cost model (:func:`repro.opencl.cost.estimate_cycles`).
+
+Cache key
+---------
+With a :class:`repro.cache.TuningCache`, compilation is keyed by
+``(structural hash of the program, CompilerOptions, size env)`` and
+measured cycles additionally by ``(input fingerprint, launch geometry,
+device, engine)``.  A warm cache therefore performs zero recompilations
+and zero re-executions for unchanged programs; the explorer reports both
+hit-rates in its stats.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.types import ArrayType
+from repro.ir.nodes import Expr, FunCall, Lambda, Param
+from repro.ir import patterns as pat
+from repro.ir.interp import apply_fun
+from repro.ir.structural import canonical
+from repro.ir.typecheck import infer_types
+from repro.ir.visit import clone_decl, post_order
+from repro.arith import simplify
+from repro.compiler.codegen import CodeGenError, compile_kernel
+from repro.compiler.kernel import execute_kernel
+from repro.compiler.options import CompilerOptions
+from repro.opencl.cost import DEVICES, estimate_cycles, static_program_cost
+from repro.rewrite.autotune import interp_args
+from repro.rewrite.rules import (
+    Rule,
+    fusion_rules,
+    lowering_rules,
+    map_to_seq,
+    reduce_to_seq,
+    simplification_rules,
+    split_join,
+    to_local_insertion,
+)
+from repro.rewrite.strategies import exhaustively, one_step_rewrites
+
+
+class ExplorationError(Exception):
+    pass
+
+
+@dataclass
+class ExploreConfig:
+    """Knobs of the derivation search (see the module docstring)."""
+
+    depth: int = 3
+    beam: int = 64
+    max_eval: int = 16
+    chunks: Sequence[int] = (4, 8, 16, 32, 64)
+    device: str = "nvidia"
+    engine: Optional[str] = None
+    workers: int = 4
+    extra_rules: Sequence[Rule] = ()
+    #: ``None`` demands bitwise equality with the reference interpreter;
+    #: a float relaxes verification to ``np.allclose`` at that rtol.
+    rtol: Optional[float] = None
+
+    def rule_menu(self) -> list:
+        rules = list(lowering_rules())
+        rules += fusion_rules()
+        rules += simplification_rules()
+        rules += [split_join(k) for k in self.chunks]
+        rules += [to_local_insertion()]
+        rules += list(self.extra_rules)
+        return rules
+
+
+@dataclass
+class ExploreStats:
+    enumerated: int = 0
+    dedup_hits: int = 0
+    finish_dedup_hits: int = 0
+    finished: int = 0
+    invalid: int = 0
+    pruned: int = 0
+    evaluated: int = 0
+    compilations: int = 0
+    executions: int = 0
+    compile_failures: int = 0
+    verify_failures: int = 0
+    kernel_cache_hits: int = 0
+    kernel_cache_misses: int = 0
+    cycle_cache_hits: int = 0
+    cycle_cache_misses: int = 0
+
+    def dedup_hit_rate(self) -> float:
+        return self.dedup_hits / self.enumerated if self.enumerated else 0.0
+
+    def kernel_cache_hit_rate(self) -> float:
+        total = self.kernel_cache_hits + self.kernel_cache_misses
+        return self.kernel_cache_hits / total if total else 0.0
+
+    def cycle_cache_hit_rate(self) -> float:
+        total = self.cycle_cache_hits + self.cycle_cache_misses
+        return self.cycle_cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "enumerated": self.enumerated,
+            "dedup_hits": self.dedup_hits,
+            "dedup_hit_rate": round(self.dedup_hit_rate(), 4),
+            "finish_dedup_hits": self.finish_dedup_hits,
+            "finished": self.finished,
+            "invalid": self.invalid,
+            "pruned": self.pruned,
+            "evaluated": self.evaluated,
+            "compilations": self.compilations,
+            "executions": self.executions,
+            "compile_failures": self.compile_failures,
+            "verify_failures": self.verify_failures,
+            "kernel_cache_hits": self.kernel_cache_hits,
+            "kernel_cache_misses": self.kernel_cache_misses,
+            "kernel_cache_hit_rate": round(self.kernel_cache_hit_rate(), 4),
+            "cycle_cache_hits": self.cycle_cache_hits,
+            "cycle_cache_misses": self.cycle_cache_misses,
+            "cycle_cache_hit_rate": round(self.cycle_cache_hit_rate(), 4),
+        }
+
+
+@dataclass
+class ExploredCandidate:
+    """One finished, schedulable point of the derivation space."""
+
+    label: str
+    program: Lambda
+    trace: tuple
+    local_size: tuple
+    global_size: tuple
+    static_cost: float
+    cycles: Optional[float] = None
+    kernel_source: Optional[str] = None
+
+    def describe_trace(self) -> str:
+        return " -> ".join(self.trace) if self.trace else "(original)"
+
+
+@dataclass
+class ExplorationResult:
+    candidates: list  # evaluated ExploredCandidates, best first
+    stats: ExploreStats
+
+    def best(self) -> ExploredCandidate:
+        if not self.candidates:
+            raise ExplorationError("exploration produced no runnable candidate")
+        return self.candidates[0]
+
+    def describe(self, top: int = 5) -> str:
+        lines = ["exploration ranking (fewest estimated cycles first):"]
+        for rank, cand in enumerate(self.candidates[:top], 1):
+            lines.append(
+                f"  {rank}. {cand.label:<34} {cand.cycles:>12.0f} cycles"
+            )
+            lines.append(f"     derivation: {cand.describe_trace()}")
+        s = self.stats
+        lines.append(
+            f"  [{s.enumerated} enumerated, dedup hit-rate "
+            f"{s.dedup_hit_rate():.0%}, {s.evaluated} evaluated, "
+            f"kernel cache hit-rate {s.kernel_cache_hit_rate():.0%}]"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# schedule validity and geometry
+# ---------------------------------------------------------------------------
+
+def _finish(body: Expr) -> Optional[Expr]:
+    """Lower whatever the search left high-level into an executable form."""
+    from repro.rewrite.lowering import _replace_outermost_map
+
+    has_parallel = any(
+        isinstance(e, FunCall) and isinstance(e.f, pat.ParallelMap)
+        for e in post_order(body)
+    )
+    if not has_parallel:
+        try:
+            body = _replace_outermost_map(body, lambda f: pat.MapGlb(f, 0))
+        except ValueError:
+            pass  # no high-level map on the spine: a sequential schedule
+    try:
+        return exhaustively([map_to_seq(), reduce_to_seq()], body)
+    except RuntimeError:
+        return None
+
+
+def _nesting_ok(body: Expr) -> bool:
+    """OpenCL thread-hierarchy wellformedness of the parallel patterns."""
+
+    def walk(e: Expr, active: frozenset, seq: bool) -> bool:
+        if not isinstance(e, FunCall):
+            return True
+        f = e.f
+        while isinstance(f, pat.AddressSpaceWrapper):
+            f = f.f
+        inner_active, inner_seq = active, seq
+        if isinstance(f, pat.MapGlb):
+            if seq or any(kind in ("wrg", "lcl") for kind, _ in active):
+                return False
+            if ("glb", f.dim) in active:
+                return False
+            inner_active = active | {("glb", f.dim)}
+        elif isinstance(f, pat.MapWrg):
+            if seq or ("wrg", f.dim) in active:
+                return False
+            if any(kind in ("glb", "lcl") for kind, _ in active):
+                return False
+            inner_active = active | {("wrg", f.dim)}
+        elif isinstance(f, pat.MapLcl):
+            if seq or ("lcl", f.dim) in active:
+                return False
+            if ("wrg", f.dim) not in active:
+                return False
+            if any(kind == "glb" for kind, _ in active):
+                return False
+            inner_active = active | {("lcl", f.dim)}
+        elif isinstance(f, (pat.MapSeq, pat.ReduceSeq, pat.Iterate)):
+            inner_seq = True
+
+        for a in e.args:
+            if not walk(a, active, seq):
+                return False
+        if isinstance(f, (pat.AbstractMap, pat.ReduceSeq, pat.Iterate)):
+            g = f.f
+            while isinstance(g, pat.AddressSpaceWrapper):
+                g = g.f
+            if isinstance(g, Lambda):
+                return walk(g.body, inner_active, inner_seq)
+        return True
+
+    if not walk(body, frozenset(), False):
+        return False
+
+    # Every work-group map must actually use local parallelism.
+    for e in post_order(body):
+        if isinstance(e, FunCall) and isinstance(e.f, pat.MapWrg):
+            if not any(
+                isinstance(x, FunCall) and isinstance(x.f, pat.MapLcl)
+                for x in post_order(e)
+                if x is not e
+            ):
+                return False
+    return True
+
+
+def _splits_divide(body: Expr, size_env: Mapping[str, int]) -> bool:
+    """Split factors must divide their (typed) input lengths exactly."""
+    for e in post_order(body):
+        if isinstance(e, FunCall) and isinstance(e.f, pat.Split):
+            arg_t = e.args[0].type
+            if not isinstance(arg_t, ArrayType):
+                return False
+            try:
+                n = int(simplify(arg_t.length).evaluate(dict(size_env)))
+                k = int(simplify(e.f.n).evaluate(dict(size_env)))
+            except Exception:
+                continue  # symbolic: let the type checker decide
+            if k <= 0 or n % k:
+                return False
+    return True
+
+
+def _collect_parallel(body: Expr) -> list:
+    """Pre-order ``(kind, dim, trip-length-expr)`` of parallel map calls."""
+    found: list = []
+
+    def walk(e: Expr) -> None:
+        if not isinstance(e, FunCall):
+            return
+        f = e.f
+        while isinstance(f, pat.AddressSpaceWrapper):
+            f = f.f
+        if isinstance(f, pat.ParallelMap):
+            kind = {pat.MapGlb: "glb", pat.MapWrg: "wrg", pat.MapLcl: "lcl"}[
+                type(f)
+            ]
+            arg_t = e.args[0].type
+            length = arg_t.length if isinstance(arg_t, ArrayType) else None
+            found.append((kind, f.dim, length))
+        if isinstance(f, (pat.AbstractMap, pat.ReduceSeq, pat.Iterate)):
+            g = f.f
+            while isinstance(g, pat.AddressSpaceWrapper):
+                g = g.f
+            if isinstance(g, Lambda):
+                walk(g.body)
+        for a in e.args:
+            walk(a)
+
+    walk(body)
+    return found
+
+
+def _geometry(
+    parallel: list, size_env: Mapping[str, int]
+) -> Optional[tuple]:
+    """Launch geometry (local_size, global_size) for a valid schedule."""
+
+    def ev(length) -> Optional[int]:
+        if length is None:
+            return None
+        try:
+            return int(simplify(length).evaluate(dict(size_env)))
+        except Exception:
+            return None
+
+    wrgs = [ev(t) for k, d, t in parallel if k == "wrg" and d == 0]
+    lcls = [ev(t) for k, d, t in parallel if k == "lcl" and d == 0]
+    glbs = [ev(t) for k, d, t in parallel if k == "glb" and d == 0]
+
+    if wrgs:
+        groups, chunk = wrgs[0], (lcls[0] if lcls else 1)
+        if groups is None or chunk is None:
+            return None
+        local0 = min(chunk, 64)
+        return (local0, 1, 1), (groups * local0, 1, 1)
+    if glbs:
+        n = glbs[0]
+        if n is None:
+            return None
+        from repro.rewrite.autotune import flat_global_geometry
+
+        return flat_global_geometry(n)
+    return (1, 1, 1), (1, 1, 1)
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+def _enumerate(
+    start: Expr, rules: list, config: ExploreConfig, stats: ExploreStats
+) -> list:
+    """Bounded BFS over rule applications; returns (body, trace) pairs."""
+    seen = {canonical(start)}
+    frontier: list = [(start, ())]
+    derivations: list = [(start, ())]
+
+    for _ in range(config.depth):
+        next_frontier: list = []
+        for body, trace in frontier:
+            for rule in rules:
+                # One traversal yields every single-application variant
+                # (position order matches find_matches/apply_at).
+                for position, candidate in enumerate(
+                    one_step_rewrites(rule, body)
+                ):
+                    stats.enumerated += 1
+                    key = canonical(candidate)
+                    if key in seen:
+                        stats.dedup_hits += 1
+                        continue
+                    seen.add(key)
+                    entry = (candidate, trace + (f"{rule.name}@{position}",))
+                    next_frontier.append(entry)
+                    derivations.append(entry)
+                    if len(next_frontier) >= config.beam:
+                        break
+                if len(next_frontier) >= config.beam:
+                    break
+            if len(next_frontier) >= config.beam:
+                break
+        frontier = next_frontier
+        if not frontier:
+            break
+    return derivations
+
+
+def explore_program(
+    high_level: Lambda,
+    inputs: Mapping[str, Any],
+    size_env: Mapping[str, int],
+    config: Optional[ExploreConfig] = None,
+    cache=None,
+) -> ExplorationResult:
+    """Search the rewrite space of ``high_level`` and rank the survivors.
+
+    ``inputs`` maps the program's parameter names to concrete values
+    (arrays may be any shape; they are flattened for the simulator and
+    nested for the interpreter).  ``cache`` is an optional
+    :class:`repro.cache.TuningCache`.
+    """
+    config = config or ExploreConfig()
+    stats = ExploreStats()
+    profile = DEVICES[config.device]
+    rules = config.rule_menu()
+
+    derivations = _enumerate(high_level.body, rules, config, stats)
+
+    # -- finish, validate, dedup ----------------------------------------
+    finished: dict = {}
+    for body, trace in derivations:
+        fin = _finish(body)
+        if fin is None:
+            stats.invalid += 1
+            continue
+        program = clone_decl(Lambda(list(high_level.params), fin))
+        assert isinstance(program, Lambda)
+        key = canonical(program)
+        if key in finished:
+            # Distinct derivations collapsing to one schedule after the
+            # finishing lowering; kept separate from the enumeration-time
+            # dedup_hits so dedup_hit_rate stays a fraction of enumerated.
+            stats.finish_dedup_hits += 1
+            continue
+        typed = clone_decl(program)
+        assert isinstance(typed, Lambda)
+        try:
+            infer_types(typed.body)
+        except Exception:
+            stats.invalid += 1
+            continue
+        if not _nesting_ok(typed.body) or not _splits_divide(typed.body, size_env):
+            stats.invalid += 1
+            continue
+        parallel = _collect_parallel(typed.body)
+        if not parallel:
+            # An all-sequential schedule "wins" under the total-work cost
+            # model (no loop strides, no barriers) but is never a useful
+            # GPU schedule; the search only ranks parallel ones.
+            stats.invalid += 1
+            continue
+        geometry = _geometry(parallel, size_env)
+        if geometry is None:
+            stats.invalid += 1
+            continue
+        try:
+            static_cost = static_program_cost(program, size_env, profile)
+        except Exception:
+            stats.invalid += 1
+            continue
+        local_size, global_size = geometry
+        finished[key] = ExploredCandidate(
+            label="",
+            program=program,
+            trace=trace,
+            local_size=local_size,
+            global_size=global_size,
+            static_cost=static_cost,
+        )
+    stats.finished = len(finished)
+
+    # -- static prune ----------------------------------------------------
+    ranked = sorted(
+        finished.values(), key=lambda c: (c.static_cost, len(c.trace), c.trace)
+    )
+    survivors = ranked[: config.max_eval]
+    stats.pruned = len(ranked) - len(survivors)
+    for i, cand in enumerate(survivors):
+        head = cand.trace[-1].split("@")[0] if cand.trace else "original"
+        cand.label = f"#{i} {head} (depth {len(cand.trace)})"
+
+    # -- reference -------------------------------------------------------
+    reference = np.asarray(
+        apply_fun(high_level, interp_args(high_level, inputs, size_env), size_env),
+        dtype=float,
+    ).ravel()
+
+    # -- compile, simulate, verify --------------------------------------
+    from repro.cache import fingerprint_inputs
+
+    inputs_fp = fingerprint_inputs(inputs) if cache is not None else ""
+    cache_before = replace(cache.stats) if cache is not None else None
+
+    def evaluate(cand: ExploredCandidate):
+        options = CompilerOptions(local_size=cand.local_size)
+        events = {"compiled": 0, "executed": 0}
+        kernel = None
+        key = None
+        if cache is not None:
+            key = cache.kernel_key(cand.program, options, size_env)
+            kernel = cache.get_kernel(key)
+        if kernel is None:
+            try:
+                kernel = compile_kernel(cand.program, options)
+            except (CodeGenError, pat.LiftTypeError) as exc:
+                return None, events, f"compile: {exc}"
+            events["compiled"] = 1
+            if cache is not None:
+                cache.put_kernel(key, kernel)
+
+        cycles = None
+        ck = None
+        if cache is not None:
+            ck = cache.cycles_key(
+                key, inputs_fp, cand.global_size, cand.local_size,
+                config.device, config.engine,
+            )
+            cycles = cache.get_cycles(ck)
+        if cycles is None:
+            kernel_inputs = {
+                p.name: inputs[p.name] for p in cand.program.params
+            }
+            try:
+                run = execute_kernel(
+                    kernel, kernel_inputs, size_env, cand.global_size,
+                    local_size=cand.local_size, engine=config.engine,
+                )
+            except Exception as exc:
+                return None, events, f"execute: {exc}"
+            events["executed"] = 1
+            out = np.asarray(run.output, dtype=float).ravel()
+            if config.rtol is None:
+                ok = out.shape == reference.shape and np.array_equal(out, reference)
+            else:
+                ok = out.shape == reference.shape and np.allclose(
+                    out, reference, rtol=config.rtol
+                )
+            if not ok:
+                return None, events, "verify: result differs from reference"
+            cycles = estimate_cycles(run.counters, profile)
+            if cache is not None:
+                cache.put_cycles(ck, cycles)
+        cand.cycles = cycles
+        cand.kernel_source = kernel.source
+        return cand, events, None
+
+    evaluated: list = []
+    with ThreadPoolExecutor(max_workers=max(1, config.workers)) as pool:
+        for cand, events, error in pool.map(evaluate, survivors):
+            stats.compilations += events["compiled"]
+            stats.executions += events["executed"]
+            if error is not None:
+                if error.startswith("compile"):
+                    stats.compile_failures += 1
+                elif error.startswith("verify"):
+                    stats.verify_failures += 1
+                else:
+                    stats.compile_failures += 1
+                continue
+            evaluated.append(cand)
+    stats.evaluated = len(evaluated)
+
+    if cache is not None and cache_before is not None:
+        after = cache.stats
+        stats.kernel_cache_hits = after.kernel_hits - cache_before.kernel_hits
+        stats.kernel_cache_misses = (
+            after.kernel_misses - cache_before.kernel_misses
+        )
+        stats.cycle_cache_hits = after.cycle_hits - cache_before.cycle_hits
+        stats.cycle_cache_misses = after.cycle_misses - cache_before.cycle_misses
+
+    evaluated.sort(key=lambda c: (c.cycles, len(c.trace), c.trace))
+    return ExplorationResult(candidates=evaluated, stats=stats)

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
-from repro.ir.nodes import Expr, FunCall
+from repro.ir.nodes import Expr, FunCall, FunDecl, Lambda, Literal, Param
+from repro.ir import patterns as pat
 from repro.ir.visit import clone_expr, transform_calls
 from repro.rewrite.rules import Rule
 
@@ -48,6 +49,63 @@ def apply_at(rule: Rule, expr: Expr, position: int = 0) -> Expr:
     if not applied[0]:
         raise ValueError(f"rule {rule.name} has no match at position {position}")
     return result
+
+
+def one_step_rewrites(rule: Rule, expr: Expr) -> List[Expr]:
+    """Every program obtainable by applying ``rule`` at exactly one match.
+
+    Equivalent to ``[apply_at(rule, expr, p) for p in
+    range(len(find_matches(rule, expr)))]`` — same variants, same
+    position order — but in a *single* traversal: ``rule.apply`` runs
+    once per call node instead of once per node per position, and the
+    variants share unmodified sibling subtrees (safe: rewriting never
+    mutates, and every downstream pass clones before annotating).  The
+    rewrite-space explorer's enumeration loop lives on this.
+    """
+
+    def go_expr(e: Expr) -> tuple:
+        if isinstance(e, Literal):
+            return Literal(e.value, e.type), []  # type: ignore[arg-type]
+        if isinstance(e, Param):
+            return e, []
+        if isinstance(e, FunCall):
+            new_f, f_variants = go_decl(e.f)
+            arg_pairs = [go_expr(a) for a in e.args]
+            new_args = [p[0] for p in arg_pairs]
+            rebuilt = FunCall(new_f, new_args)
+            variants: list = []
+            for fv in f_variants:
+                variants.append(FunCall(fv, list(new_args)))
+            for i, (_, arg_variants) in enumerate(arg_pairs):
+                for av in arg_variants:
+                    spliced = list(new_args)
+                    spliced[i] = av
+                    variants.append(FunCall(new_f, spliced))
+            replacement = rule.apply(rebuilt)
+            if replacement is not None:
+                variants.append(replacement)
+            return rebuilt, variants
+        raise TypeError(f"cannot rewrite {e!r}")
+
+    def go_decl(f: FunDecl) -> tuple:
+        if isinstance(f, Lambda):
+            body, variants = go_expr(f.body)
+            return (
+                Lambda(list(f.params), body),
+                [Lambda(list(f.params), v) for v in variants],
+            )
+        if isinstance(f, pat.ParallelMap):
+            inner, variants = go_decl(f.f)
+            return type(f)(inner, f.dim), [type(f)(v, f.dim) for v in variants]
+        if isinstance(f, (pat.AbstractMap, pat.ReduceSeq, pat.AddressSpaceWrapper)):
+            inner, variants = go_decl(f.f)
+            return type(f)(inner), [type(f)(v) for v in variants]
+        if isinstance(f, pat.Iterate):
+            inner, variants = go_decl(f.f)
+            return pat.Iterate(f.n, inner), [pat.Iterate(f.n, v) for v in variants]
+        return f, []
+
+    return go_expr(expr)[1]
 
 
 def rewrite_first(rule: Rule, expr: Expr) -> Optional[Expr]:

@@ -1,0 +1,128 @@
+"""Persistent tuning cache: round-trips, key sensitivity, and corrupt or
+stale entries falling back to a recompile."""
+
+import json
+import pickle
+
+import numpy as np
+
+from repro.arith import Var
+from repro.types import ArrayType, FLOAT
+from repro.ir.nodes import Lambda, Param, UserFun
+from repro.ir.dsl import map_
+from repro.cache import CACHE_VERSION, TuningCache, fingerprint_inputs
+from repro.compiler.codegen import compile_kernel
+from repro.compiler.options import CompilerOptions
+from repro.rewrite.lowering import lower_to_global
+
+
+def _program(param_name="x"):
+    n = Var("N")
+    x = Param(ArrayType(FLOAT, n), param_name)
+    double = UserFun("dbl", ["v"], "return v * 2.0f;", [FLOAT], FLOAT,
+                     py=lambda v: v * 2.0)
+    return Lambda([x], map_(double)(x))
+
+
+def _compiled():
+    return compile_kernel(lower_to_global(_program()), CompilerOptions())
+
+
+class TestKernelRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        kernel = _compiled()
+        key = cache.kernel_key(_program(), CompilerOptions(), {"N": 64})
+        assert cache.get_kernel(key) is None
+        cache.put_kernel(key, kernel)
+        restored = cache.get_kernel(key)
+        assert restored is not None
+        assert restored.source == kernel.source
+        assert [p.name for p in restored.params] == [
+            p.name for p in kernel.params
+        ]
+        assert cache.stats.kernel_hits == 1
+        assert cache.stats.kernel_misses == 1
+
+    def test_key_is_alpha_independent(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        opts, env = CompilerOptions(), {"N": 64}
+        assert cache.kernel_key(_program("x"), opts, env) == cache.kernel_key(
+            _program("renamed"), opts, env
+        )
+
+    def test_key_depends_on_options_and_sizes(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        prog = _program()
+        base = cache.kernel_key(prog, CompilerOptions(), {"N": 64})
+        assert base != cache.kernel_key(
+            prog, CompilerOptions(local_size=(32, 1, 1)), {"N": 64}
+        )
+        assert base != cache.kernel_key(prog, CompilerOptions(), {"N": 128})
+
+
+class TestCorruptAndStale:
+    def test_corrupt_kernel_entry_is_a_miss(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key = cache.kernel_key(_program(), CompilerOptions(), {"N": 64})
+        cache.put_kernel(key, _compiled())
+        path = cache._path(key, "kernel")
+        path.write_bytes(b"not a pickle at all")
+        assert cache.get_kernel(key) is None
+        assert cache.stats.invalid == 1
+        assert not path.exists()  # dropped, so the recompile can re-fill
+        cache.put_kernel(key, _compiled())
+        assert cache.get_kernel(key) is not None
+
+    def test_truncated_pickle_is_a_miss(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key = cache.kernel_key(_program(), CompilerOptions(), {"N": 64})
+        cache.put_kernel(key, _compiled())
+        path = cache._path(key, "kernel")
+        path.write_bytes(path.read_bytes()[:20])
+        assert cache.get_kernel(key) is None
+
+    def test_stale_version_is_a_miss(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key = cache.kernel_key(_program(), CompilerOptions(), {"N": 64})
+        entry = {"version": CACHE_VERSION + 1, "key": key, "kernel": _compiled()}
+        cache._path(key, "kernel").parent.mkdir(parents=True, exist_ok=True)
+        cache._path(key, "kernel").write_bytes(pickle.dumps(entry))
+        assert cache.get_kernel(key) is None
+
+    def test_corrupt_cycles_entry_is_a_miss(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key = "ab" * 32
+        cache.put_cycles(key, 123.0)
+        assert cache.get_cycles(key) == 123.0
+        cache._path(key, "cycles.json").write_text("{truncated")
+        assert cache.get_cycles(key) is None
+
+    def test_cycles_key_mismatch_is_stale(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key = "cd" * 32
+        entry = {"version": CACHE_VERSION, "key": "different", "cycles": 1.0}
+        cache.root.mkdir(parents=True, exist_ok=True)
+        cache._path(key, "cycles.json").write_text(json.dumps(entry))
+        assert cache.get_cycles(key) is None
+
+
+class TestFingerprintAndClear:
+    def test_fingerprint_sensitive_to_values(self):
+        a = {"x": np.arange(8.0)}
+        b = {"x": np.arange(8.0) + 1}
+        assert fingerprint_inputs(a) != fingerprint_inputs(b)
+        assert fingerprint_inputs(a) == fingerprint_inputs(
+            {"x": np.arange(8.0)}
+        )
+
+    def test_fingerprint_includes_scalars(self):
+        assert fingerprint_inputs({"a": 1.5}) != fingerprint_inputs({"a": 2.5})
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key = cache.kernel_key(_program(), CompilerOptions(), {"N": 64})
+        cache.put_kernel(key, _compiled())
+        cache.put_cycles("ef" * 32, 9.0)
+        assert cache.clear() == 2
+        assert cache.get_kernel(key) is None

@@ -296,6 +296,70 @@ class TestBarriers:
             launch(program, 2, 2, {"x": Buffer.zeros(2)}, engine="vector")
 
 
+class TestVectorGeometryBuiltins:
+    """``dot``/``length`` use an explicitly-ordered reduction shared by
+    both engines, so vector-geometry kernels no longer force the scalar
+    fallback."""
+
+    _SRC = """
+    kernel void K(const global float * restrict p,
+                  const global float * restrict q,
+                  global float *dots, global float *lens) {
+      int i = get_global_id(0);
+      float4 a = vload4(i, p);
+      float4 b = vload4(i, q);
+      dots[i] = dot(a, b);
+      lens[i] = length(a);
+    }
+    """
+
+    def test_analysis_accepts_dot_and_length(self):
+        program = OpenCLProgram(self._SRC)
+        assert analyze_kernel(program.parsed, program.kernel()) is None
+
+    def test_engines_agree_bitwise(self):
+        n = 64
+        rng = np.random.default_rng(11)
+        p = rng.standard_normal(4 * n)
+        q = rng.standard_normal(4 * n)
+
+        def args():
+            return {
+                "p": Buffer.from_array(p),
+                "q": Buffer.from_array(q),
+                "dots": Buffer.zeros(n),
+                "lens": Buffer.zeros(n),
+            }
+
+        assert_engines_agree(self._SRC, n, 16, args)
+
+    def test_ordered_reduction_matches_sequential_sum(self):
+        # The contract is a fixed left-to-right multiply-add chain, not
+        # whatever BLAS does for the current shape.
+        n = 8
+        rng = np.random.default_rng(5)
+        p = rng.standard_normal(4 * n)
+        q = rng.standard_normal(4 * n)
+
+        def args():
+            return {
+                "p": Buffer.from_array(p),
+                "q": Buffer.from_array(q),
+                "dots": Buffer.zeros(n),
+                "lens": Buffer.zeros(n),
+            }
+
+        program = OpenCLProgram(self._SRC)
+        a = args()
+        launch(program, n, 8, a, engine="vector")
+        pv, qv = p.reshape(n, 4), q.reshape(n, 4)
+        for i in range(n):
+            acc = pv[i, 0] * qv[i, 0]
+            for k in range(1, 4):
+                acc = acc + pv[i, k] * qv[i, k]
+            assert a["dots"].data[i] == acc
+
+
 class TestFallback:
     def test_analysis_accepts_plain_kernel(self):
         program = OpenCLProgram(

@@ -1,0 +1,110 @@
+"""Structural hash/equality: alpha-equivalence, clone stability, and
+sensitivity to rewrites."""
+
+from repro.arith import Var
+from repro.types import ArrayType, FLOAT
+from repro.ir.nodes import FunCall, Lambda, Param, UserFun
+from repro.ir.dsl import add, f32, join, map_, reduce_, split
+from repro.ir.structural import canonical, structural_eq, structural_hash
+from repro.ir.visit import clone_decl, clone_expr
+from repro.rewrite.rules import map_fusion, map_to_seq, split_join
+from repro.rewrite.strategies import rewrite_first
+
+
+def _plus_one():
+    return UserFun("plusOne", ["v"], "return v + 1.0f;", [FLOAT], FLOAT,
+                   py=lambda v: v + 1.0)
+
+
+def _program(param_name="x"):
+    n = Var("N")
+    x = Param(ArrayType(FLOAT, n), param_name)
+    return Lambda([x], map_(_plus_one())(x))
+
+
+class TestAlphaEquivalence:
+    def test_parameter_names_do_not_matter(self):
+        assert structural_eq(_program("x"), _program("completely_different"))
+        assert structural_hash(_program("x")) == structural_hash(_program("y"))
+
+    def test_independent_constructions_are_equal(self):
+        assert structural_eq(_program(), _program())
+
+    def test_nested_lambda_renaming(self):
+        n = Var("N")
+
+        def build(inner_name):
+            x = Param(ArrayType(FLOAT, n), "x")
+            p = Param(None, inner_name)
+            inner = Lambda([p], FunCall(_plus_one(), [p]))
+            return Lambda([x], map_(inner)(x))
+
+        assert structural_eq(build("a"), build("zzz"))
+
+    def test_different_structure_differs(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        mapped = Lambda([x], map_(_plus_one())(x))
+        reduced = Lambda([x], reduce_(add(), f32(0.0))(x))
+        assert not structural_eq(mapped, reduced)
+
+    def test_different_user_fun_bodies_differ(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        other = UserFun("plusOne", ["v"], "return v + 2.0f;", [FLOAT], FLOAT)
+        a = Lambda([x], map_(_plus_one())(x))
+        b = Lambda([x], map_(other)(x))
+        assert not structural_eq(a, b)
+
+    def test_split_factor_is_part_of_identity(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        a = join()(split(4)(x))
+        b = join()(split(8)(x))
+        assert canonical(a) != canonical(b)
+
+
+class TestCloneStability:
+    def test_hash_stable_across_clone_decl(self):
+        prog = _program()
+        assert structural_hash(prog) == structural_hash(clone_decl(prog))
+
+    def test_hash_stable_across_clone_expr(self):
+        prog = _program()
+        assert structural_hash(prog.body) == structural_hash(
+            clone_expr(prog.body)
+        )
+
+    def test_repeated_clones_stay_equal(self):
+        prog = _program()
+        current = prog
+        for _ in range(4):
+            current = clone_decl(current)
+        assert structural_eq(prog, current)
+
+
+class TestRewriteSensitivity:
+    def test_rule_application_changes_hash(self):
+        prog = _program()
+        lowered = rewrite_first(map_to_seq(), prog.body)
+        assert lowered is not None
+        assert structural_hash(prog.body) != structural_hash(lowered)
+
+    def test_split_join_changes_hash(self):
+        prog = _program()
+        tiled = rewrite_first(split_join(4), prog.body)
+        assert structural_hash(prog.body) != structural_hash(tiled)
+
+    def test_fusion_changes_hash_but_is_self_stable(self):
+        n = Var("N")
+        x = Param(ArrayType(FLOAT, n), "x")
+        body = map_(_plus_one())(map_(_plus_one())(x))
+        fused = rewrite_first(map_fusion(), body)
+        assert structural_hash(body) != structural_hash(fused)
+        # Cloning the fused program does not change its identity.
+        assert structural_hash(fused) == structural_hash(clone_expr(fused))
+
+    def test_process_independent_digest_shape(self):
+        digest = structural_hash(_program())
+        assert len(digest) == 64
+        int(digest, 16)  # hex
