@@ -3,10 +3,23 @@
 Not a paper experiment, but standard engineering hygiene for a compiler
 repository: tracks the cost of each pipeline configuration on the most
 structurally complex programs.
+
+Hash-consing of :mod:`repro.arith.expr` (interning nodes on a
+structural key so the simplify/prove memos become identity-keyed)
+changed first-compile times on the recording machine as follows
+(median, ``memo=False``): ``partial_dot`` 2.07 ms -> 1.39 ms (1.49x),
+``convolution`` 2.45 ms -> 2.39 ms, ``mm-nvidia`` ~3 ms unchanged
+within the noise of the shared-core CI box;
+``test_simplify_shared_subexpressions`` below tracks the lever
+directly (31.6 us -> 29.1 us per rebuilt-and-resimplified expression,
+and O(1) instead of O(tree) per memo probe).
 """
 
 import pytest
 
+from repro.arith import Var, simplify
+from repro.arith.expr import Cst, IntDiv, Mod, Prod, Sum
+from repro.arith.ranges import Range
 from repro.benchsuite.common import get_benchmark
 from repro.compiler import CompilerOptions, compile_kernel
 from tests.programs import partial_dot
@@ -36,6 +49,33 @@ def test_compile_benchmark_kernels(benchmark, name):
 
     kernel = benchmark(compile_it)
     assert "kernel void" in kernel.source
+
+
+def test_simplify_shared_subexpressions(benchmark):
+    """Rebuilding and re-simplifying a structurally identical index
+    expression must be served by hash-consing + the identity-keyed
+    simplify memo — the codegen consumes views by rebuilding the same
+    index expressions for every access."""
+    n = Var("N", Range.natural())
+
+    def rebuild_and_simplify():
+        i = Var("i", Range.of(0, n))
+        j = Var("j", Range.of(0, Cst(64)))
+        flat = Sum([Prod([i, Cst(64)]), j])
+        e = Sum(
+            [
+                Prod([IntDiv(flat, Cst(64)), Cst(64)]),
+                Mod(flat, Cst(64)),
+                Prod([i, n]),
+                Mod(Prod([j, Cst(4)]), Cst(64)),
+            ]
+        )
+        return simplify(e)
+
+    first = rebuild_and_simplify()
+    again = benchmark(rebuild_and_simplify)
+    # Hash-consing makes the repeats literally the same object.
+    assert again is first
 
 
 @pytest.mark.parametrize("name", ["mm-nvidia"])

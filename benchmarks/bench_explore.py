@@ -92,8 +92,9 @@ def main(out_path: str = None) -> None:
         "description": (
             "Rewrite-space exploration baseline: candidates enumerated, "
             "dedup/cache hit-rates and best-vs-menu cycles per benchmark; "
-            "recorded on the PR that introduced repro.rewrite.explore and "
-            "the persistent repro.cache store."
+            "last refreshed on the PR that closure-compiled the SIMT "
+            "simulator (execution via the compiled pipeline roughly "
+            "halved the cold exploration time)."
         ),
         "config": cold["config"],
         "cold_total_seconds": round(cold_seconds, 3),

@@ -2,9 +2,11 @@
 
 Tracks how many work-items per second the NDRange simulator executes for
 representative kernels — useful for sizing future experiments.  Each
-benchmark is parametrized over the execution engine so the lane-batched
-SIMT engine's speedup over the per-work-item scalar interpreter is
-tracked as a first-class number (baseline: ``BENCH_simulator.json``).
+benchmark is parametrized over the execution tier (``scalar`` reference
+interpreter, ``interp``retive lane-batched walk, ``compiled`` closure
+pipeline) so each tier's speedup is tracked as a first-class number
+(baseline: ``BENCH_simulator.json``; regression gate:
+``check_perf_regression.py``).
 """
 
 import pytest
@@ -12,7 +14,10 @@ import numpy as np
 
 from repro.opencl import Buffer, OpenCLProgram, launch
 
-_SAXPY = """
+# Kernel sources and launch shapes are shared with
+# check_perf_regression.py so the CI gate always measures exactly what
+# the committed BENCH_simulator.json baseline recorded.
+SAXPY_SOURCE = """
 kernel void SAXPY(const global float * restrict x,
                   const global float * restrict y,
                   global float *out, float a, int n) {
@@ -20,8 +25,10 @@ kernel void SAXPY(const global float * restrict x,
   if (i < n) { out[i] = a * x[i] + y[i]; }
 }
 """
+SAXPY_N = 4096
+SAXPY_LOCAL = 64
 
-_REDUCTION = """
+REDUCTION_SOURCE = """
 kernel void REDUCE(const global float * restrict x, global float *out) {
   local float tmp[64];
   int l = get_local_id(0);
@@ -34,20 +41,22 @@ kernel void REDUCE(const global float * restrict x, global float *out) {
   if (l < 1) { out[get_group_id(0)] = tmp[0]; }
 }
 """
+REDUCTION_N = 1024
+REDUCTION_LOCAL = 64
 
-ENGINES = ("scalar", "vector")
+ENGINES = ("scalar", "interp", "compiled")
 
 
 @pytest.mark.parametrize("engine", ENGINES)
 def test_simulator_saxpy_throughput(benchmark, engine):
-    n = 4096
-    program = OpenCLProgram(_SAXPY)
+    n = SAXPY_N
+    program = OpenCLProgram(SAXPY_SOURCE)
     x = Buffer.from_array(np.arange(n, dtype=float))
     y = Buffer.from_array(np.ones(n))
 
     def run():
         out = Buffer.zeros(n)
-        launch(program, n, 64,
+        launch(program, n, SAXPY_LOCAL,
                {"x": x, "y": y, "out": out, "a": 2.0, "n": n},
                engine=engine)
         return out
@@ -59,13 +68,13 @@ def test_simulator_saxpy_throughput(benchmark, engine):
 
 @pytest.mark.parametrize("engine", ENGINES)
 def test_simulator_barrier_lockstep_throughput(benchmark, engine):
-    n = 1024
-    program = OpenCLProgram(_REDUCTION)
+    n = REDUCTION_N
+    program = OpenCLProgram(REDUCTION_SOURCE)
     x = Buffer.from_array(np.ones(n))
 
     def run():
-        out = Buffer.zeros(n // 64)
-        launch(program, n, 64, {"x": x, "out": out}, engine=engine)
+        out = Buffer.zeros(n // REDUCTION_LOCAL)
+        launch(program, n, REDUCTION_LOCAL, {"x": x, "out": out}, engine=engine)
         return out
 
     out = benchmark(run)
@@ -79,7 +88,7 @@ def test_simulator_engines_agree(engine, tmp_path):
     for the throughput numbers above; the exhaustive check lives in
     tests/test_simt.py)."""
     n = 1024
-    program = OpenCLProgram(_SAXPY)
+    program = OpenCLProgram(SAXPY_SOURCE)
     x = Buffer.from_array(np.arange(n, dtype=float))
     y = Buffer.from_array(np.ones(n))
     out = Buffer.zeros(n)

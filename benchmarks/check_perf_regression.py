@@ -1,0 +1,209 @@
+"""CI gate: fail when simulator or exploration performance regresses.
+
+Absolute work-items/s numbers are machine-dependent (the baselines were
+recorded on one box, CI runners are another), so the gate compares
+*machine-relative ratios*, which travel:
+
+* **simulator** — for each smoke kernel, the speedup of the compiled
+  lane-batched tier over the scalar reference interpreter, measured
+  here, must stay within ``TOLERANCE`` (30%) of the same ratio in the
+  checked-in ``BENCH_simulator.json``.  A >30% drop means someone made
+  the fast path slower (or the scalar path faster without touching the
+  fast path — also worth a look).
+* **exploration** — given a ``BENCH_explore`` metrics file (produced by
+  ``bench_explore.py`` earlier in the CI job), a warm tuning cache must
+  still perform **zero** recompilations with full cycle-cache hit
+  rates, and the cold/warm wall-clock ratio must stay within
+  ``TOLERANCE`` of the checked-in ``BENCH_explore.json`` baseline.
+
+Exit status 0 = pass, 1 = regression (with a report on stdout).
+
+Usage::
+
+    python benchmarks/check_perf_regression.py [--explore-json PATH]
+        [--baseline-dir benchmarks]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+TOLERANCE = 0.30
+
+# The measured kernels and launch shapes are the ones bench_simulator.py
+# records into BENCH_simulator.json — imported, not duplicated, so the
+# gate cannot silently drift from its baseline.
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_simulator import (  # noqa: E402
+    REDUCTION_LOCAL,
+    REDUCTION_N,
+    REDUCTION_SOURCE,
+    SAXPY_LOCAL,
+    SAXPY_N,
+    SAXPY_SOURCE,
+)
+
+
+def _best_launch_seconds(source, global_size, local_size, make_args,
+                         engine, repeats) -> float:
+    """Fastest of ``repeats`` launches.
+
+    The minimum estimates the uncontended cost, which is what makes the
+    ratio below stable on shared CI runners (a median would fold other
+    tenants' noise into the gate).
+    """
+    from repro.opencl import OpenCLProgram, launch
+
+    program = OpenCLProgram(source)
+    launch(program, global_size, local_size, make_args(), engine=engine)
+    times = []
+    for _ in range(repeats):
+        args = make_args()
+        t0 = time.perf_counter()
+        launch(program, global_size, local_size, args, engine=engine)
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def measure_simulator_speedups() -> dict:
+    """``{smoke kernel: compiled-vs-scalar speedup}`` on this machine."""
+    from repro.opencl import Buffer
+
+    n = SAXPY_N
+    x = Buffer.from_array(np.arange(n, dtype=float))
+    y = Buffer.from_array(np.ones(n))
+
+    def saxpy_args():
+        return {"x": x, "y": y, "out": Buffer.zeros(n), "a": 2.0, "n": n}
+
+    nr = REDUCTION_N
+    xr = Buffer.from_array(np.ones(nr))
+
+    def reduce_args():
+        return {"x": xr, "out": Buffer.zeros(nr // REDUCTION_LOCAL)}
+
+    speedups = {}
+    for name, source, gsize, lsize, make_args in (
+        ("test_simulator_saxpy_throughput", SAXPY_SOURCE, n, SAXPY_LOCAL,
+         saxpy_args),
+        ("test_simulator_barrier_lockstep_throughput", REDUCTION_SOURCE, nr,
+         REDUCTION_LOCAL, reduce_args),
+    ):
+        scalar = _best_launch_seconds(
+            source, gsize, lsize, make_args, "scalar", repeats=5
+        )
+        compiled = _best_launch_seconds(
+            source, gsize, lsize, make_args, "compiled", repeats=60
+        )
+        speedups[name] = scalar / compiled
+    return speedups
+
+
+def baseline_simulator_speedups(baseline: dict) -> dict:
+    """The compiled-vs-scalar ratio recorded in BENCH_simulator.json."""
+    benches = baseline["benchmarks"]
+    out = {}
+    for name in (
+        "test_simulator_saxpy_throughput",
+        "test_simulator_barrier_lockstep_throughput",
+    ):
+        scalar = benches[f"{name}[scalar]"]["median_s"]
+        compiled = benches[f"{name}[compiled]"]["median_s"]
+        out[name] = scalar / compiled
+    return out
+
+
+def check_simulator(baseline_path: Path) -> list:
+    baseline = json.loads(baseline_path.read_text())
+    expected = baseline_simulator_speedups(baseline)
+    measured = measure_simulator_speedups()
+    failures = []
+    for name, base_ratio in expected.items():
+        now = measured[name]
+        floor = (1.0 - TOLERANCE) * base_ratio
+        status = "ok" if now >= floor else "REGRESSION"
+        print(
+            f"[simulator] {name}: compiled/scalar speedup {now:.1f}x "
+            f"(baseline {base_ratio:.1f}x, floor {floor:.1f}x) {status}"
+        )
+        if now < floor:
+            failures.append(
+                f"{name}: speedup {now:.1f}x below floor {floor:.1f}x"
+            )
+    return failures
+
+
+def check_explore(metrics_path: Path, baseline_path: Path) -> list:
+    metrics = json.loads(metrics_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+
+    for name, entry in metrics.get("benchmarks", {}).items():
+        if entry.get("warm_compilations", 0) != 0:
+            failures.append(f"explore[{name}]: warm run recompiled kernels")
+        if entry.get("warm_cycle_cache_hit_rate", 0.0) < 1.0:
+            failures.append(f"explore[{name}]: warm run re-executed kernels")
+
+    cold = metrics.get("cold_total_seconds")
+    warm = metrics.get("warm_total_seconds")
+    base_cold = baseline.get("cold_total_seconds")
+    base_warm = baseline.get("warm_total_seconds")
+    if cold and warm and base_cold and base_warm:
+        ratio = cold / warm
+        base_ratio = base_cold / base_warm
+        # The warm leg is a single sub-second measurement (bench_explore
+        # runs each pass once), so the wall-clock ratio gets an extra
+        # factor of 2 of noise headroom on top of TOLERANCE; the hard
+        # guarantees above (zero recompiles, full hit rates) are the
+        # deterministic part of this gate.
+        floor = (1.0 - TOLERANCE) * base_ratio / 2.0
+        status = "ok" if ratio >= floor else "REGRESSION"
+        print(
+            f"[explore] warm-cache speedup {ratio:.1f}x "
+            f"(baseline {base_ratio:.1f}x, floor {floor:.1f}x) {status}"
+        )
+        if ratio < floor:
+            failures.append(
+                f"explore: warm speedup {ratio:.1f}x below floor {floor:.1f}x"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline-dir", default=Path(__file__).parent, type=Path,
+        help="directory holding BENCH_simulator.json / BENCH_explore.json",
+    )
+    parser.add_argument(
+        "--explore-json", default=None, type=Path,
+        help="BENCH_explore metrics produced by bench_explore.py in this "
+             "run; the explore gate is skipped when absent",
+    )
+    args = parser.parse_args(argv)
+
+    failures = check_simulator(args.baseline_dir / "BENCH_simulator.json")
+    if args.explore_json is not None and args.explore_json.exists():
+        failures += check_explore(
+            args.explore_json, args.baseline_dir / "BENCH_explore.json"
+        )
+    elif args.explore_json is not None:
+        print(f"[explore] metrics file {args.explore_json} missing; skipped")
+
+    if failures:
+        print("\nperformance regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nperformance regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

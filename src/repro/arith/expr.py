@@ -4,16 +4,47 @@ These are the raw, immutable AST nodes.  Constructing them performs *no*
 simplification; the smart constructors live in :mod:`repro.arith.simplify`
 and are reached through the overloaded Python operators.  All nodes are
 hashable so they can be used as dictionary keys during canonicalization.
+
+Nodes are **hash-consed**: construction interns each node in a weak
+table keyed by its structure (for variables, including the range — two
+same-named variables with different ranges must stay distinct objects).
+Structurally identical expressions built through the constructors are
+therefore the *same* Python object, which makes repeated hashing,
+equality and — crucially — the memo tables of
+:mod:`repro.arith.simplify` identity-keyed O(1) instead of
+tree-walking.  Intern keys reference child nodes by identity; that is
+sound because an interned parent holds strong references to its
+children, so a child's ``id`` cannot be recycled while any key
+containing it is alive.  Unpickling (e.g. from the tuning cache)
+reconstructs nodes through ``__getnewargs__``, so they re-intern on
+load; pickles written before hash-consing fail to reconstruct and are
+treated as cache misses by the stores that hold them.
 """
 
 from __future__ import annotations
 
 import itertools
+import weakref
 from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.arith.ranges import Range
 
 _var_counter = itertools.count()
+
+#: The intern table.  Weak values: nodes live exactly as long as
+#: something outside the table references them.
+_INTERN: "weakref.WeakValueDictionary[tuple, ArithExpr]" = (
+    weakref.WeakValueDictionary()
+)
+
+def _intern(key: tuple, inst: "ArithExpr") -> "ArithExpr":
+    _INTERN[key] = inst
+    return inst
+
+
+def intern_table_size() -> int:
+    """Number of live interned nodes (for tests and diagnostics)."""
+    return len(_INTERN)
 
 
 class ArithExpr:
@@ -24,7 +55,7 @@ class ArithExpr:
     constructors directly (``Sum([a, b])``) to build raw expressions.
     """
 
-    __slots__ = ()
+    __slots__ = ("__weakref__", "_hash", "_sort_key")
 
     # -- operators (smart constructors) ---------------------------------
     def __add__(self, other: "ArithExpr | int") -> "ArithExpr":
@@ -101,7 +132,43 @@ class ArithExpr:
 
     # -- ordering key for canonical forms --------------------------------
     def sort_key(self) -> tuple:
-        return (type(self).__name__, str(self))
+        key = getattr(self, "_sort_key", None)
+        if key is None:
+            key = (type(self).__name__, str(self))
+            self._sort_key = key
+        return key
+
+    # -- cached structural hash ------------------------------------------
+    def __hash__(self) -> int:
+        h = getattr(self, "_hash", None)
+        if h is None:
+            h = self._compute_hash()
+            self._hash = h
+        return h
+
+    def _compute_hash(self) -> int:
+        raise NotImplementedError
+
+    # -- pickling ---------------------------------------------------------
+    # ``_hash`` uses Python's per-process string hashing and must never
+    # cross a pickle boundary (the tuning cache persists kernels whose
+    # metadata embeds these nodes); ``_sort_key``/``__weakref__`` are
+    # likewise process-local.
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot in ("__weakref__", "_hash", "_sort_key"):
+                    continue
+                try:
+                    state[slot] = getattr(self, slot)
+                except AttributeError:
+                    pass
+        return (None, state)
+
+    def __setstate__(self, state):
+        for name, value in state[1].items():
+            setattr(self, name, value)
 
 
 class Cst(ArithExpr):
@@ -109,10 +176,24 @@ class Cst(ArithExpr):
 
     __slots__ = ("value",)
 
-    def __init__(self, value: int):
+    def __new__(cls, value: int):
         if not isinstance(value, int):
             raise TypeError(f"Cst requires an int, got {value!r}")
-        self.value = value
+        if isinstance(value, bool):
+            value = int(value)  # True == 1 would collide in the table
+        key = ("c", value)
+        inst = _INTERN.get(key)
+        if inst is not None:
+            return inst
+        inst = super().__new__(cls)
+        inst.value = value
+        return _intern(key, inst)
+
+    def __init__(self, value: int):  # fully constructed in __new__
+        pass
+
+    def __getnewargs__(self):
+        return (self.value,)
 
     def evaluate(self, env: Mapping[str, int]) -> int:
         return self.value
@@ -121,10 +202,14 @@ class Cst(ArithExpr):
         return self.value
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Cst) and other.value == self.value
+        return other is self or (
+            isinstance(other, Cst) and other.value == self.value
+        )
 
-    def __hash__(self) -> int:
+    def _compute_hash(self) -> int:
         return hash(("Cst", self.value))
+
+    __hash__ = ArithExpr.__hash__
 
     def __repr__(self) -> str:
         return str(self.value)
@@ -138,13 +223,30 @@ class Var(ArithExpr):
     Two variables are equal iff their names are equal; the range is
     metadata attached by whoever introduced the variable (a map loop, a
     size parameter).  Use :meth:`fresh` for generated loop indices.
+    The intern key *does* include the range (same-named variables with
+    different ranges must stay distinct objects for the simplifier).
     """
 
     __slots__ = ("name", "range")
 
+    def __new__(cls, name: str, range_: Range | None = None):
+        r = range_ if range_ is not None else Range.natural()
+        key = (
+            "v", name, id(r.min), None if r.max is None else id(r.max)
+        )
+        inst = _INTERN.get(key)
+        if inst is not None:
+            return inst
+        inst = super().__new__(cls)
+        inst.name = name
+        inst.range = r
+        return _intern(key, inst)
+
     def __init__(self, name: str, range_: Range | None = None):
-        self.name = name
-        self.range = range_ if range_ is not None else Range.natural()
+        pass
+
+    def __getnewargs__(self):
+        return (self.name, self.range)
 
     @staticmethod
     def fresh(prefix: str, range_: Range | None = None) -> "Var":
@@ -157,10 +259,14 @@ class Var(ArithExpr):
             raise KeyError(f"no value for variable {self.name!r}") from None
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Var) and other.name == self.name
+        return other is self or (
+            isinstance(other, Var) and other.name == self.name
+        )
 
-    def __hash__(self) -> int:
+    def _compute_hash(self) -> int:
         return hash(("Var", self.name))
+
+    __hash__ = ArithExpr.__hash__
 
     def __repr__(self) -> str:
         return self.name
@@ -173,10 +279,23 @@ class Sum(ArithExpr):
 
     __slots__ = ("terms",)
 
-    def __init__(self, terms: Iterable[ArithExpr]):
-        self.terms = tuple(terms)
-        if len(self.terms) < 2:
+    def __new__(cls, terms: Iterable[ArithExpr]):
+        terms = tuple(terms)
+        if len(terms) < 2:
             raise ValueError("Sum requires at least two terms")
+        key = ("s", *map(id, terms))
+        inst = _INTERN.get(key)
+        if inst is not None:
+            return inst
+        inst = super().__new__(cls)
+        inst.terms = terms
+        return _intern(key, inst)
+
+    def __init__(self, terms: Iterable[ArithExpr]):
+        pass
+
+    def __getnewargs__(self):
+        return (self.terms,)
 
     def evaluate(self, env: Mapping[str, int]) -> int:
         return sum(t.evaluate(env) for t in self.terms)
@@ -185,10 +304,14 @@ class Sum(ArithExpr):
         return self.terms
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Sum) and other.terms == self.terms
+        return other is self or (
+            isinstance(other, Sum) and other.terms == self.terms
+        )
 
-    def __hash__(self) -> int:
+    def _compute_hash(self) -> int:
         return hash(("Sum", self.terms))
+
+    __hash__ = ArithExpr.__hash__
 
     def __repr__(self) -> str:
         return "(" + " + ".join(map(str, self.terms)) + ")"
@@ -201,10 +324,23 @@ class Prod(ArithExpr):
 
     __slots__ = ("factors",)
 
-    def __init__(self, factors: Iterable[ArithExpr]):
-        self.factors = tuple(factors)
-        if len(self.factors) < 2:
+    def __new__(cls, factors: Iterable[ArithExpr]):
+        factors = tuple(factors)
+        if len(factors) < 2:
             raise ValueError("Prod requires at least two factors")
+        key = ("p", *map(id, factors))
+        inst = _INTERN.get(key)
+        if inst is not None:
+            return inst
+        inst = super().__new__(cls)
+        inst.factors = factors
+        return _intern(key, inst)
+
+    def __init__(self, factors: Iterable[ArithExpr]):
+        pass
+
+    def __getnewargs__(self):
+        return (self.factors,)
 
     def evaluate(self, env: Mapping[str, int]) -> int:
         result = 1
@@ -216,10 +352,14 @@ class Prod(ArithExpr):
         return self.factors
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Prod) and other.factors == self.factors
+        return other is self or (
+            isinstance(other, Prod) and other.factors == self.factors
+        )
 
-    def __hash__(self) -> int:
+    def _compute_hash(self) -> int:
         return hash(("Prod", self.factors))
+
+    __hash__ = ArithExpr.__hash__
 
     def __repr__(self) -> str:
         return "(" + " * ".join(map(str, self.factors)) + ")"
@@ -232,9 +372,21 @@ class IntDiv(ArithExpr):
 
     __slots__ = ("numer", "denom")
 
+    def __new__(cls, numer: ArithExpr, denom: ArithExpr):
+        key = ("d", id(numer), id(denom))
+        inst = _INTERN.get(key)
+        if inst is not None:
+            return inst
+        inst = super().__new__(cls)
+        inst.numer = numer
+        inst.denom = denom
+        return _intern(key, inst)
+
     def __init__(self, numer: ArithExpr, denom: ArithExpr):
-        self.numer = numer
-        self.denom = denom
+        pass
+
+    def __getnewargs__(self):
+        return (self.numer, self.denom)
 
     def evaluate(self, env: Mapping[str, int]) -> int:
         d = self.denom.evaluate(env)
@@ -246,14 +398,16 @@ class IntDiv(ArithExpr):
         return (self.numer, self.denom)
 
     def __eq__(self, other: object) -> bool:
-        return (
+        return other is self or (
             isinstance(other, IntDiv)
             and other.numer == self.numer
             and other.denom == self.denom
         )
 
-    def __hash__(self) -> int:
+    def _compute_hash(self) -> int:
         return hash(("IntDiv", self.numer, self.denom))
+
+    __hash__ = ArithExpr.__hash__
 
     def __repr__(self) -> str:
         return f"({self.numer} / {self.denom})"
@@ -266,9 +420,21 @@ class Mod(ArithExpr):
 
     __slots__ = ("numer", "denom")
 
+    def __new__(cls, numer: ArithExpr, denom: ArithExpr):
+        key = ("m", id(numer), id(denom))
+        inst = _INTERN.get(key)
+        if inst is not None:
+            return inst
+        inst = super().__new__(cls)
+        inst.numer = numer
+        inst.denom = denom
+        return _intern(key, inst)
+
     def __init__(self, numer: ArithExpr, denom: ArithExpr):
-        self.numer = numer
-        self.denom = denom
+        pass
+
+    def __getnewargs__(self):
+        return (self.numer, self.denom)
 
     def evaluate(self, env: Mapping[str, int]) -> int:
         d = self.denom.evaluate(env)
@@ -280,14 +446,16 @@ class Mod(ArithExpr):
         return (self.numer, self.denom)
 
     def __eq__(self, other: object) -> bool:
-        return (
+        return other is self or (
             isinstance(other, Mod)
             and other.numer == self.numer
             and other.denom == self.denom
         )
 
-    def __hash__(self) -> int:
+    def _compute_hash(self) -> int:
         return hash(("Mod", self.numer, self.denom))
+
+    __hash__ = ArithExpr.__hash__
 
     def __repr__(self) -> str:
         return f"({self.numer} % {self.denom})"
@@ -300,9 +468,21 @@ class Pow(ArithExpr):
 
     __slots__ = ("base", "exp")
 
+    def __new__(cls, base: ArithExpr, exp: ArithExpr):
+        key = ("pw", id(base), id(exp))
+        inst = _INTERN.get(key)
+        if inst is not None:
+            return inst
+        inst = super().__new__(cls)
+        inst.base = base
+        inst.exp = exp
+        return _intern(key, inst)
+
     def __init__(self, base: ArithExpr, exp: ArithExpr):
-        self.base = base
-        self.exp = exp
+        pass
+
+    def __getnewargs__(self):
+        return (self.base, self.exp)
 
     def evaluate(self, env: Mapping[str, int]) -> int:
         return self.base.evaluate(env) ** self.exp.evaluate(env)
@@ -311,14 +491,16 @@ class Pow(ArithExpr):
         return (self.base, self.exp)
 
     def __eq__(self, other: object) -> bool:
-        return (
+        return other is self or (
             isinstance(other, Pow)
             and other.base == self.base
             and other.exp == self.exp
         )
 
-    def __hash__(self) -> int:
+    def _compute_hash(self) -> int:
         return hash(("Pow", self.base, self.exp))
+
+    __hash__ = ArithExpr.__hash__
 
     def __repr__(self) -> str:
         return f"pow({self.base}, {self.exp})"
@@ -331,8 +513,20 @@ class Log2(ArithExpr):
 
     __slots__ = ("arg",)
 
+    def __new__(cls, arg: ArithExpr):
+        key = ("l2", id(arg))
+        inst = _INTERN.get(key)
+        if inst is not None:
+            return inst
+        inst = super().__new__(cls)
+        inst.arg = arg
+        return _intern(key, inst)
+
     def __init__(self, arg: ArithExpr):
-        self.arg = arg
+        pass
+
+    def __getnewargs__(self):
+        return (self.arg,)
 
     def evaluate(self, env: Mapping[str, int]) -> int:
         v = self.arg.evaluate(env)
@@ -344,10 +538,14 @@ class Log2(ArithExpr):
         return (self.arg,)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Log2) and other.arg == self.arg
+        return other is self or (
+            isinstance(other, Log2) and other.arg == self.arg
+        )
 
-    def __hash__(self) -> int:
+    def _compute_hash(self) -> int:
         return hash(("Log2", self.arg))
+
+    __hash__ = ArithExpr.__hash__
 
     def __repr__(self) -> str:
         return f"log2({self.arg})"
@@ -366,9 +564,21 @@ class LoadIndex(ArithExpr):
 
     __slots__ = ("memory_name", "index")
 
+    def __new__(cls, memory_name: str, index: ArithExpr):
+        key = ("li", memory_name, id(index))
+        inst = _INTERN.get(key)
+        if inst is not None:
+            return inst
+        inst = super().__new__(cls)
+        inst.memory_name = memory_name
+        inst.index = index
+        return _intern(key, inst)
+
     def __init__(self, memory_name: str, index: ArithExpr):
-        self.memory_name = memory_name
-        self.index = index
+        pass
+
+    def __getnewargs__(self):
+        return (self.memory_name, self.index)
 
     def evaluate(self, env: Mapping[str, int]) -> int:
         raise NotImplementedError(
@@ -380,14 +590,16 @@ class LoadIndex(ArithExpr):
         return (self.index,)
 
     def __eq__(self, other: object) -> bool:
-        return (
+        return other is self or (
             isinstance(other, LoadIndex)
             and other.memory_name == self.memory_name
             and other.index == self.index
         )
 
-    def __hash__(self) -> int:
+    def _compute_hash(self) -> int:
         return hash(("LoadIndex", self.memory_name, self.index))
+
+    __hash__ = ArithExpr.__hash__
 
     def __repr__(self) -> str:
         return f"{self.memory_name}[{self.index}]"

@@ -73,54 +73,32 @@ def _proof_exit() -> None:
 #
 # The compiler re-simplifies identical view-index expressions many times
 # per kernel, and ``prove_lt`` re-discharges the same bounds proofs.
-# Both are pure functions of the expression *structure plus the ranges of
-# every variable in it* — ``Var.__eq__`` deliberately ignores ranges, so
-# the cache key must fold them in explicitly.  Results computed under a
-# non-zero proof depth are *not* cached (they may have been cut short by
-# the depth guard).
+# Expression nodes are hash-consed (:mod:`repro.arith.expr`): a
+# structurally identical expression — *including* variable ranges, which
+# ``Var.__eq__`` deliberately ignores but the intern key folds in — is
+# the same object, so the memo tables key by identity.  Entries pin the
+# keyed expressions (cache values hold strong references), which keeps
+# their ``id`` valid for exactly as long as the entry lives; the ``is``
+# check on lookup makes id recycling harmless either way.  Results
+# computed under a non-zero proof depth are *not* cached (they may have
+# been cut short by the depth guard).
 
-_SIMPLIFY_CACHE: "OrderedDict[tuple, ArithExpr]" = OrderedDict()
-_PROVE_LT_CACHE: "OrderedDict[tuple, bool]" = OrderedDict()
+_SIMPLIFY_CACHE: "OrderedDict[int, tuple]" = OrderedDict()
+_PROVE_LT_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
 _CACHE_SIZE = 4096
 #: Guards the two OrderedDicts (get + move_to_end is not atomic; a
 #: concurrent eviction would raise KeyError under the explorer's pool).
 _CACHE_LOCK = _threading.Lock()
 
 
-def _cache_key(expr: ArithExpr, _depth: int = 0) -> tuple | None:
-    """Structural key including variable ranges; ``None`` when the
-    expression is too deeply nested to key cheaply."""
-    if _depth > 24:
-        return None
-    if isinstance(expr, Cst):
-        return ("c", expr.value)
-    if isinstance(expr, Var):
-        r = expr.range
-        lo = _cache_key(r.min, _depth + 1)
-        hi = None if r.max is None else _cache_key(r.max, _depth + 1)
-        if lo is None or (r.max is not None and hi is None):
-            return None
-        return ("v", expr.name, lo, hi)
-    if isinstance(expr, LoadIndex):
-        inner = _cache_key(expr.index, _depth + 1)
-        return None if inner is None else ("l", expr.memory_name, inner)
-    parts = []
-    for child in expr.children():
-        part = _cache_key(child, _depth + 1)
-        if part is None:
-            return None
-        parts.append(part)
-    return (type(expr).__name__, *parts)
-
-
-def _cache_put(cache: OrderedDict, key: tuple, value) -> None:
+def _cache_put(cache: OrderedDict, key, value) -> None:
     with _CACHE_LOCK:
         cache[key] = value
         while len(cache) > _CACHE_SIZE:
             cache.popitem(last=False)
 
 
-def _cache_get(cache: OrderedDict, key: tuple):
+def _cache_get(cache: OrderedDict, key):
     with _CACHE_LOCK:
         value = cache.get(key)
         if value is not None:
@@ -473,18 +451,18 @@ def log2(arg: ArithExpr) -> ArithExpr:
 def simplify(expr: ArithExpr) -> ArithExpr:
     """Fully re-simplify a (possibly raw) expression bottom-up.
 
-    Top-level results (outside any bounds proof) are memoized on the
-    expression's structural key.
+    Top-level results (outside any bounds proof) are memoized by node
+    identity — hash-consing makes structurally identical expressions
+    the same object, so the lookup is O(1) instead of a key-building
+    tree walk.
     """
     if _proof_depth() == 0 and not isinstance(expr, (Cst, Var)):
-        key = _cache_key(expr)
-        if key is not None:
-            cached = _cache_get(_SIMPLIFY_CACHE, key)
-            if cached is not None:
-                return cached
-            result = _simplify_uncached(expr)
-            _cache_put(_SIMPLIFY_CACHE, key, result)
-            return result
+        entry = _cache_get(_SIMPLIFY_CACHE, id(expr))
+        if entry is not None and entry[0] is expr:
+            return entry[1]
+        result = _simplify_uncached(expr)
+        _cache_put(_SIMPLIFY_CACHE, id(expr), (expr, result))
+        return result
     return _simplify_uncached(expr)
 
 
@@ -668,13 +646,10 @@ def prove_lt(a: ArithExpr, b: ArithExpr) -> bool:
         return False
     key = None
     if _proof_depth() == 0:
-        ka = _cache_key(a)
-        kb = _cache_key(b)
-        if ka is not None and kb is not None:
-            key = (ka, kb)
-            cached = _cache_get(_PROVE_LT_CACHE, key)
-            if cached is not None:
-                return cached
+        key = (id(a), id(b))
+        entry = _cache_get(_PROVE_LT_CACHE, key)
+        if entry is not None and entry[0] is a and entry[1] is b:
+            return entry[2]
     _proof_enter()
     try:
         diff = sub(b, a)
@@ -683,7 +658,7 @@ def prove_lt(a: ArithExpr, b: ArithExpr) -> bool:
     lo = _bound(diff, want_max=False, keep_vars=True)
     result = lo is not None and _is_positive(lo)
     if key is not None:
-        _cache_put(_PROVE_LT_CACHE, key, result)
+        _cache_put(_PROVE_LT_CACHE, key, (a, b, result))
     return result
 
 

@@ -41,8 +41,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--cache-dir", default=None,
-        help="tuning-cache directory for explore (default: REPRO_CACHE_DIR "
-             "or ~/.cache/repro)",
+        help="tuning-cache directory for explore/figure8 (default: "
+             "REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="run figure8 without the tuning cache",
     )
     args = parser.parse_args(argv)
 
@@ -61,8 +65,19 @@ def main(argv=None) -> int:
     if args.experiment in ("figure8", "all"):
         from repro.benchsuite.figure8 import format_figure8, run_figure8
 
-        cells = run_figure8(args.benchmarks, sizes=tuple(args.sizes))
+        cache = None
+        if not args.no_cache:
+            from repro.cache import TuningCache
+
+            cache = TuningCache(args.cache_dir)
+        cells = run_figure8(args.benchmarks, sizes=tuple(args.sizes), cache=cache)
         print(format_figure8(cells))
+        if cache is not None:
+            s = cache.stats
+            print(
+                f"[tuning cache: {s.run_hits} run hits / "
+                f"{s.run_misses} misses, {s.kernel_hits} kernel hits]"
+            )
 
     if args.experiment == "explore":
         from repro.benchsuite.explore import format_explore, run_explore

@@ -85,31 +85,60 @@ class Benchmark:
         inputs: dict,
         size_env: Mapping[str, int],
         engine: Optional[str] = None,
+        cache=None,
     ) -> tuple:
-        """Run the hand-written kernels; returns (output, counters)."""
+        """Run the hand-written kernels; returns (output, counters).
+
+        With a :class:`repro.cache.TuningCache`, each launch's output
+        and counters are stored content-addressed (source + sizes +
+        argument fingerprint + geometry + engine); warm reruns skip the
+        simulation entirely.
+        """
         program = OpenCLProgram(self.reference_source)
         counters = Counters()
         scratch: dict[str, Any] = {}
         output: Optional[np.ndarray] = None
         for launch_spec in self.reference_launches:
             args = launch_spec.make_args(inputs, size_env, scratch)
+            run_key = None
+            if cache is not None:
+                from repro.cache import fingerprint_inputs
+
+                source_key = cache.source_key(
+                    self.reference_source, launch_spec.kernel, size_env
+                )
+                run_key = cache.run_key(
+                    source_key,
+                    fingerprint_inputs(args),
+                    launch_spec.global_size(size_env),
+                    launch_spec.local_size,
+                    engine,
+                )
+                hit = cache.get_run(run_key)
+                if hit is not None:
+                    output, launch_counters = hit
+                    counters = counters.merged_with(launch_counters)
+                    scratch[launch_spec.kernel] = output
+                    continue
             wrapped = {
                 name: Buffer.from_array(v) if isinstance(v, np.ndarray) else v
                 for name, v in args.items()
             }
-            launch(
+            launch_counters = launch(
                 program,
                 launch_spec.global_size(size_env),
                 launch_spec.local_size,
                 wrapped,
                 kernel_name=launch_spec.kernel,
-                counters=counters,
                 engine=engine,
             )
+            counters = counters.merged_with(launch_counters)
             out_buffer = wrapped[launch_spec.out_arg]
             assert isinstance(out_buffer, Buffer)
             output = out_buffer.data.copy()
             scratch[launch_spec.kernel] = output
+            if run_key is not None:
+                cache.put_run(run_key, output, launch_counters)
         assert output is not None
         return output, counters
 
@@ -120,15 +149,21 @@ class Benchmark:
         size_env: Mapping[str, int],
         options_factory: Callable[..., CompilerOptions] = CompilerOptions.all,
         engine: Optional[str] = None,
+        cache=None,
     ) -> tuple:
         """Compile and run the low-level Lift stages; returns
-        (output, counters)."""
+        (output, counters).
+
+        With a :class:`repro.cache.TuningCache`, compiled kernels are
+        served from the store (structural hash + options + sizes) and
+        whole stage executions from run entries — a warm rerun performs
+        zero compilations and zero simulations.
+        """
         counters = Counters()
         prev: Optional[np.ndarray] = None
         for stage in self.stages:
             fun = stage.build(size_env)
             options = options_factory(local_size=stage.local_size)
-            compiled = compile_kernel(fun, options)
             stage_inputs: dict[str, Any] = {}
             for lam_param, name in zip(fun.params, stage.param_names):
                 if name == "__prev":
@@ -136,16 +171,42 @@ class Benchmark:
                     stage_inputs[lam_param.name] = prev
                 else:
                     stage_inputs[lam_param.name] = inputs[name]
+
+            kernel_key = run_key = None
+            compiled = None
+            if cache is not None:
+                from repro.cache import fingerprint_inputs
+
+                kernel_key = cache.kernel_key(fun, options, size_env)
+                run_key = cache.run_key(
+                    kernel_key,
+                    fingerprint_inputs(stage_inputs),
+                    stage.global_size(size_env),
+                    stage.local_size,
+                    engine,
+                )
+                hit = cache.get_run(run_key)
+                if hit is not None:
+                    prev, stage_counters = hit
+                    counters = counters.merged_with(stage_counters)
+                    continue
+                compiled = cache.get_kernel(kernel_key)
+            if compiled is None:
+                compiled = compile_kernel(fun, options)
+                if kernel_key is not None:
+                    cache.put_kernel(kernel_key, compiled)
             result = execute_kernel(
                 compiled,
                 stage_inputs,
                 size_env,
                 stage.global_size(size_env),
                 local_size=stage.local_size,
-                counters=counters,
                 engine=engine,
             )
+            counters = counters.merged_with(result.counters)
             prev = result.output
+            if run_key is not None:
+                cache.put_run(run_key, prev, result.counters)
         assert prev is not None
         return prev, counters
 

@@ -46,18 +46,21 @@ class Figure8Cell:
 
 
 def measure_benchmark(
-    bench: Benchmark, size: str, seed: int = 7
+    bench: Benchmark, size: str, seed: int = 7, cache=None
 ) -> list:
     """All Figure 8 cells for one benchmark at one input size.
 
     The simulator's counters are device-independent, so each
     configuration executes once and is priced under both device
-    profiles.
+    profiles.  With a :class:`repro.cache.TuningCache`, reference and
+    generated runs are served from content-addressed run entries — a
+    warm rerun performs zero compilations and zero simulations (the
+    oracle checks still run against the cached outputs).
     """
     inputs, size_env = bench.inputs_for(size, seed)
     expected = bench.oracle(inputs, size_env)
 
-    ref_out, ref_counters = bench.run_reference(inputs, size_env)
+    ref_out, ref_counters = bench.run_reference(inputs, size_env, cache=cache)
     np.testing.assert_allclose(
         ref_out, expected, rtol=bench.rtol, atol=1e-7,
         err_msg=f"{bench.name}: reference kernel produced wrong results",
@@ -66,7 +69,7 @@ def measure_benchmark(
     cells: list[Figure8Cell] = []
     for level_name, factory in OPTIMIZATION_LEVELS.items():
         gen_out, gen_counters = bench.run_generated(
-            inputs, size_env, options_factory=factory
+            inputs, size_env, options_factory=factory, cache=cache
         )
         np.testing.assert_allclose(
             gen_out, expected, rtol=bench.rtol, atol=1e-7,
@@ -95,13 +98,14 @@ def run_figure8(
     benchmarks: Optional[Iterable[str]] = None,
     sizes: Iterable[str] = ("small", "large"),
     seed: int = 7,
+    cache=None,
 ) -> list:
     names = list(benchmarks) if benchmarks is not None else list(ALL_BENCHMARKS)
     cells: list[Figure8Cell] = []
     for name in names:
         bench = get_benchmark(name)
         for size in sizes:
-            cells.extend(measure_benchmark(bench, size, seed))
+            cells.extend(measure_benchmark(bench, size, seed, cache=cache))
     return cells
 
 

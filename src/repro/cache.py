@@ -16,7 +16,13 @@ timestamp:
 * **cycle entries** — the measured simulated cycle count of one
   execution, keyed by the kernel key plus a fingerprint of the concrete
   input arrays, the launch geometry, the device profile and the
-  simulator engine.
+  simulator engine;
+* **run entries** — the full outcome of one simulated execution (the
+  output buffer and the device-independent :class:`Counters`), keyed
+  like cycle entries minus the device.  These are what let the
+  ``figure8`` harness skip re-executing reference and generated kernels
+  on warm reruns (the per-device cycle estimate is recomputed from the
+  cached counters, which is pure arithmetic).
 
 Entries are written atomically (temp file + ``os.replace``) and carry a
 format version; a corrupt, truncated or stale entry is treated as a
@@ -43,9 +49,12 @@ from repro.compiler.codegen import CompiledKernel
 from repro.compiler.options import CompilerOptions
 from repro.ir.nodes import FunDecl
 from repro.ir.structural import canonical
+from repro.opencl.interp import Counters
 
 #: Bump when the on-disk layout or any pickled class changes shape.
-CACHE_VERSION = 1
+#: v2: arith nodes are hash-consed (pickled via ``__getnewargs__``), and
+#: run entries (output + counters) joined the store.
+CACHE_VERSION = 2
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -83,6 +92,8 @@ class CacheStats:
     kernel_misses: int = 0
     cycle_hits: int = 0
     cycle_misses: int = 0
+    run_hits: int = 0
+    run_misses: int = 0
     puts: int = 0
     invalid: int = 0
 
@@ -93,6 +104,10 @@ class CacheStats:
     def cycle_hit_rate(self) -> float:
         total = self.cycle_hits + self.cycle_misses
         return self.cycle_hits / total if total else 0.0
+
+    def run_hit_rate(self) -> float:
+        total = self.run_hits + self.run_misses
+        return self.run_hits / total if total else 0.0
 
 
 class TuningCache:
@@ -129,6 +144,37 @@ class TuningCache:
                 canonical(program),
                 self._options_token(options),
                 sizes,
+            ]
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def source_key(source: str, kernel_name: str, size_env: Mapping[str, int]) -> str:
+        """Key for a hand-written (non-IL) kernel: raw source + sizes.
+
+        The reference kernels of the benchsuite have no IL program to
+        hash structurally; their source text is the identity.
+        """
+        sizes = ";".join(f"{k}={int(v)}" for k, v in sorted(size_env.items()))
+        payload = "\n".join([f"v{CACHE_VERSION}", "src", kernel_name, sizes, source])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def run_key(
+        self,
+        kernel_key: str,
+        inputs_fingerprint: str,
+        global_size,
+        local_size,
+        engine: Optional[str],
+    ) -> str:
+        payload = "\n".join(
+            [
+                "run",
+                kernel_key,
+                inputs_fingerprint,
+                repr(tuple(global_size) if hasattr(global_size, "__len__") else global_size),
+                repr(tuple(local_size) if hasattr(local_size, "__len__") else local_size),
+                engine or "auto",
             ]
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -251,12 +297,53 @@ class TuningCache:
             self.stats.puts += 1
 
     # ------------------------------------------------------------------
+    # run entries (output buffer + counters)
+    # ------------------------------------------------------------------
+    def get_run(self, key: str) -> Optional[tuple]:
+        """``(output array, Counters)`` of a cached execution, or ``None``."""
+        with self._lock:
+            return self._get_run(key)
+
+    def _get_run(self, key: str) -> Optional[tuple]:
+        path = self._path(key, "run")
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.run_misses += 1
+            return None
+        try:
+            entry = pickle.loads(raw)
+            if entry["version"] != CACHE_VERSION or entry["key"] != key:
+                raise ValueError("stale cache entry")
+            output = entry["output"]
+            if not isinstance(output, np.ndarray):
+                raise TypeError("cache entry holds no output array")
+            counters = Counters(**entry["counters"])
+        except Exception:
+            self._drop(path)
+            self.stats.run_misses += 1
+            return None
+        self.stats.run_hits += 1
+        return output, counters
+
+    def put_run(self, key: str, output: np.ndarray, counters: Counters) -> None:
+        entry = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "output": np.asarray(output),
+            "counters": dict(vars(counters)),
+        }
+        with self._lock:
+            self._write_atomic(self._path(key, "run"), pickle.dumps(entry))
+            self.stats.puts += 1
+
+    # ------------------------------------------------------------------
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.iterdir():
-                if path.suffix in (".kernel", ".json") or path.name.startswith(
+                if path.suffix in (".kernel", ".json", ".run") or path.name.startswith(
                     ".tmp-"
                 ):
                     try:

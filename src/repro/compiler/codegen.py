@@ -194,6 +194,10 @@ class KernelGenerator:
         self.removable: set[int] = set()
         self.pre_block = c.CBlock()  # kernel-top declarations
         self._lcl_depth = 0  # nesting level of mapLcl constructs
+        #: Enclosing parallel map loops as (kind, index var, trip count):
+        #: staging allocations inside them get one slot per work-item
+        #: (see :meth:`_staging_wrap`).
+        self._par_stack: list = []
 
     # ------------------------------------------------------------------
     # entry point
@@ -436,12 +440,50 @@ class KernelGenerator:
         args = [self._value_of(a, block) for a in call.args]
         value: c.CExpr = c.CCall(f.name, args)
         if dest is None:
+            # A value materialized without a destination is a staging
+            # slot.  In local/global memory one shared cell would be
+            # written concurrently by every work-item of the enclosing
+            # parallel maps (the nbody kernels' p1 staging) — give each
+            # work-item its own slot, indexed by the parallel loop
+            # variables.
             space = call.addr_space or AddressSpace.PRIVATE
-            mem = self.alloc.alloc(call.type, space)
-            self._emit_store(MemView(mem, call.type), call.type, value, block)
-            return GenResult(MemView(mem, call.type), wrote=True)
+            wrap = self._staging_wrap(space)
+            logical: DataType = call.type
+            for _, length in reversed(wrap):
+                logical = ArrayType(logical, length)
+            mem = self.alloc.alloc(logical, space)
+            view: View = MemView(mem, logical)
+            for idx, _ in wrap:
+                view = ArrayAccessView(view, idx)
+            self._emit_store(view, call.type, value, block)
+            return GenResult(view, wrote=True)
         self._emit_store(dest.view, call.type, value, block)
         return GenResult(MemView(dest.memory, call.type), wrote=True)
+
+    def _staging_wrap(self, space: AddressSpace) -> list:
+        """The per-work-item slot indices a staging allocation needs.
+
+        Private memory is per-thread already.  Local memory is shared by
+        the work-items of one group, so slots are needed per enclosing
+        ``mapLcl``/``mapGlb`` index; global memory additionally per
+        ``mapWrg`` index.  A symbolic local trip count cannot size a
+        local array — those keep the (pre-existing) shared cell.
+        """
+        if space == AddressSpace.PRIVATE:
+            return []
+        kinds = ("lcl", "glb") if space == AddressSpace.LOCAL else (
+            "lcl", "glb", "wrg"
+        )
+        wrap = [
+            (idx, n)
+            for kind, idx, n in self._par_stack
+            if kind in kinds
+        ]
+        if space == AddressSpace.LOCAL and any(
+            simplify(n).try_int() is None for _, n in wrap
+        ):
+            return []
+        return wrap
 
     def _register_user_fun(self, f: UserFun) -> None:
         existing = self.user_funs.get(f.name)
@@ -494,11 +536,16 @@ class KernelGenerator:
         inner_dest = self._wrap_dest(dest, idx, kind)
 
         lam.params[0].view = elem_view
+        parallel = kind in ("lcl", "wrg", "glb")
         if kind == "lcl":
             self._lcl_depth += 1
+        if parallel:
+            self._par_stack.append((kind, idx, n))
         try:
             inner = self.gen(lam.body, body_block, inner_dest)
         finally:
+            if parallel:
+                self._par_stack.pop()
             if kind == "lcl":
                 self._lcl_depth -= 1
         if not inner.wrote:

@@ -67,9 +67,17 @@ class Counters:
 
     def merged_with(self, other: "Counters") -> "Counters":
         merged = Counters()
-        for name in vars(self):
-            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        merged.merge_in(self)
+        merged.merge_in(other)
         return merged
+
+    def merge_in(self, other: "Counters") -> None:
+        """Accumulate ``other`` into this instance (all engines stage
+        their counts and merge on success; keep this the single place
+        that knows how)."""
+        acc = self.__dict__
+        for name, value in other.__dict__.items():
+            acc[name] = acc[name] + value
 
 
 class Pointer:

@@ -5,16 +5,20 @@ OpenCL, so any order is conforming); work-items within a group run in
 lock-step between barriers via the generator mechanism of
 :mod:`repro.opencl.interp`.
 
-Two execution engines back :func:`launch`:
+Three execution tiers back :func:`launch` (see ``ENGINES.md`` in this
+package):
 
-* ``"vector"`` — the lane-batched SIMT engine of
-  :mod:`repro.opencl.simt`, which executes each block of work-groups
-  once with numpy arrays over lanes;
+* ``"compiled"`` — the lane-batched SIMT engine driven by the closure
+  pipeline of :mod:`repro.opencl.simt_compile` (kernel AST lowered once
+  per program);
+* ``"interp"`` — the same lane-batched engine interpreting the AST per
+  block (:mod:`repro.opencl.simt`);
 * ``"scalar"`` — the per-work-item reference interpreter.
 
-The default ``"auto"`` runs vectorizable kernels on the vector engine
-and falls back to the scalar path otherwise (including mid-launch, with
-buffer rollback).  ``REPRO_SIM_ENGINE`` overrides the default.
+``"vector"`` selects the lane-batched engine, compiled when possible,
+interpretive otherwise; the default ``"auto"`` additionally falls back
+to the scalar path for non-vectorizable kernels (including mid-launch,
+with buffer rollback).  ``REPRO_SIM_ENGINE`` overrides the default.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ import numpy as np
 
 from repro.compiler import cast as c
 from repro.opencl.cparser import ParsedProgram, parse
-from repro.opencl import simt
+from repro.opencl import simt, simt_compile
 from repro.opencl.interp import (
     BarrierDivergence,
     Counters,
@@ -106,9 +110,32 @@ def _collect_local_decls(stmt: c.CStmt, out: list) -> None:
             _collect_local_decls(stmt.otherwise, out)
 
 
+def _local_decls_of(parsed: ParsedProgram, kernel: c.CFunctionDef) -> list:
+    """Local-buffer declarations, memoized per kernel on the parsed
+    program (the AST is immutable during execution)."""
+    cache = getattr(parsed, "_local_decls", None)
+    if cache is None:
+        cache = {}
+        parsed._local_decls = cache
+    decls = cache.get(kernel.name)
+    if decls is None:
+        decls = []
+        _collect_local_decls(kernel.body, decls)
+        cache[kernel.name] = decls
+    return decls
+
+
+#: Engine names accepted by :func:`launch` / ``REPRO_SIM_ENGINE``:
+#: ``auto`` (compiled -> interpretive vector -> scalar), ``vector``
+#: (lane-batched, compiled when possible, strict), ``compiled`` (closure
+#: pipeline only, strict), ``interp`` (interpretive vector walk,
+#: strict), ``scalar`` (reference interpreter).
+_ENGINE_NAMES = ("auto", "vector", "compiled", "interp", "scalar")
+
+
 def _resolve_engine(engine: Optional[str]) -> str:
     engine = engine or os.environ.get("REPRO_SIM_ENGINE") or "auto"
-    if engine not in ("auto", "vector", "scalar"):
+    if engine not in _ENGINE_NAMES:
         raise ValueError(f"unknown execution engine {engine!r}")
     return engine
 
@@ -150,20 +177,28 @@ def launch(
         else:
             base_env[p.name] = value
 
-    local_decls: list[c.CDecl] = []
-    _collect_local_decls(kernel.body, local_decls)
+    local_decls = _local_decls_of(program.parsed, kernel)
 
     resolved = _resolve_engine(engine)
     if resolved != "scalar":
         reason = simt.analyze_kernel(program.parsed, kernel)
         if reason is None:
+            pipeline = None
+            if resolved != "interp":
+                pipeline = simt_compile.get_pipeline(program.parsed, kernel)
+            if resolved == "compiled" and pipeline is None:
+                raise simt.VectorizationError(
+                    f"kernel {kernel.name!r} has no closure pipeline"
+                )
             done = simt.try_launch(
                 program.parsed, kernel, gsize, lsize, base_env, local_decls,
-                counters, strict=(resolved == "vector"),
+                counters,
+                strict=(resolved in ("vector", "compiled", "interp")),
+                pipeline=pipeline,
             )
             if done:
                 return counters
-        elif resolved == "vector":
+        elif resolved != "auto":
             raise simt.VectorizationError(
                 f"kernel {kernel.name!r} is not vectorizable: {reason}"
             )

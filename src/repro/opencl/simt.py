@@ -64,6 +64,8 @@ identifier" error.
 
 from __future__ import annotations
 
+import threading as _threading
+from collections import OrderedDict
 from typing import Any, Optional
 
 import numpy as np
@@ -385,6 +387,180 @@ def _barrier_ctrl_ok(s, ctrl: bool, uniform: set) -> bool:
     return True
 
 
+# -- written-pointer analysis ------------------------------------------------
+#
+# The race detector only matters for buffers some work-item can *write*:
+# a buffer that is never stored through cannot produce an order-dependent
+# result, so loads from it skip the (comparatively expensive) hazard
+# bookkeeping entirely.  This conservative data-flow pass computes the
+# set of identifier names whose value may reach a store; the launcher
+# intersects it with the actual argument arrays (so aliased buffers —
+# one array passed under two names — stay tracked).
+
+def written_pointer_roots(parsed: ParsedProgram, kernel: c.CFunctionDef) -> frozenset:
+    """Names (params, locals) whose value may flow into a stored-through
+    pointer anywhere in the kernel or its helpers.  Conservative: unknown
+    constructs mark every involved identifier."""
+    cache = getattr(parsed, "_simt_written", None)
+    if cache is None:
+        cache = {}
+        parsed._simt_written = cache
+    if kernel.name in cache:
+        return cache[kernel.name]
+    roots = frozenset(_roots_of_function(parsed, kernel, frozenset(), {}))
+    cache[kernel.name] = roots
+    return roots
+
+
+def _expr_idents(e, out: set) -> None:
+    if isinstance(e, c.CIdent):
+        out.add(e.name)
+    elif isinstance(e, c.CBinOp):
+        _expr_idents(e.lhs, out)
+        _expr_idents(e.rhs, out)
+    elif isinstance(e, c.CUnOp):
+        _expr_idents(e.operand, out)
+    elif isinstance(e, c.CTernary):
+        _expr_idents(e.cond, out)
+        _expr_idents(e.then, out)
+        _expr_idents(e.otherwise, out)
+    elif isinstance(e, c.CIndex):
+        _expr_idents(e.base, out)
+        _expr_idents(e.index, out)
+    elif isinstance(e, c.CMember):
+        _expr_idents(e.base, out)
+    elif isinstance(e, c.CCast):
+        _expr_idents(e.operand, out)
+    elif isinstance(e, (c.CVectorLiteral, c.CCall)):
+        for item in (e.items if isinstance(e, c.CVectorLiteral) else e.args):
+            _expr_idents(item, out)
+
+
+def _roots_of_function(
+    parsed, fn: c.CFunctionDef, stack: frozenset, memo: dict
+) -> set:
+    """Fixpoint written-roots computation for one function body.
+
+    ``memo`` caches helper results by name for one analysis run (they
+    are caller-independent), so a kernel calling the same helper from
+    many sites — or through nested helper chains — scans each body
+    once instead of once per call expression.
+    """
+    written: set = set()
+    flows: list = []  # (target name, identifier names of the value)
+
+    def scan_expr(e) -> None:
+        if isinstance(e, c.CCall):
+            for a in e.args:
+                scan_expr(a)
+            name = e.func
+            if _is_vstore(name):
+                _expr_idents(e.args[2], written)
+            elif (
+                name.startswith("get_")
+                or _is_vload(name)
+                or name in _MATH_BUILTINS
+            ):
+                pass
+            elif name in parsed.functions:
+                callee = parsed.functions[name]
+                if name in stack:
+                    # Recursive helpers never vectorize; stay sound.
+                    for a in e.args:
+                        _expr_idents(a, written)
+                else:
+                    callee_written = memo.get(name)
+                    if callee_written is None:
+                        callee_written = _roots_of_function(
+                            parsed, callee, stack | {fn.name}, memo
+                        )
+                        memo[name] = callee_written
+                    for p, a in zip(callee.params, e.args):
+                        if p.name in callee_written:
+                            _expr_idents(a, written)
+            else:
+                # Unknown function: assume it may write through any arg.
+                for a in e.args:
+                    _expr_idents(a, written)
+        elif isinstance(e, c.CBinOp):
+            scan_expr(e.lhs)
+            scan_expr(e.rhs)
+        elif isinstance(e, c.CUnOp):
+            scan_expr(e.operand)
+        elif isinstance(e, c.CTernary):
+            scan_expr(e.cond)
+            scan_expr(e.then)
+            scan_expr(e.otherwise)
+        elif isinstance(e, c.CIndex):
+            scan_expr(e.base)
+            scan_expr(e.index)
+        elif isinstance(e, c.CMember):
+            scan_expr(e.base)
+        elif isinstance(e, c.CCast):
+            scan_expr(e.operand)
+        elif isinstance(e, c.CVectorLiteral):
+            for item in e.items:
+                scan_expr(item)
+
+    def scan_stmt(s) -> None:
+        if isinstance(s, c.CBlock):
+            for sub in s.stmts:
+                scan_stmt(sub)
+        elif isinstance(s, c.CDecl):
+            if s.init is not None:
+                scan_expr(s.init)
+                ids: set = set()
+                _expr_idents(s.init, ids)
+                flows.append((s.name, ids))
+        elif isinstance(s, c.CAssign):
+            scan_expr(s.value)
+            if isinstance(s.target, c.CIdent):
+                ids = set()
+                _expr_idents(s.value, ids)
+                flows.append((s.target.name, ids))
+            elif isinstance(s.target, c.CIndex):
+                _expr_idents(s.target.base, written)
+                scan_expr(s.target.index)
+            elif isinstance(s.target, c.CMember):
+                # Member stores hit struct registers / vector variables,
+                # not shared buffers — but a pointer stored *into* a
+                # member must still flow to the container's name.
+                scan_expr(s.target.base)
+                base = s.target.base
+                while isinstance(base, c.CMember):
+                    base = base.base
+                if isinstance(base, c.CIdent):
+                    ids = set()
+                    _expr_idents(s.value, ids)
+                    flows.append((base.name, ids))
+        elif isinstance(s, c.CFor):
+            for part in (s.init, s.step, s.body):
+                if part is not None:
+                    scan_stmt(part)
+            if s.cond is not None:
+                scan_expr(s.cond)
+        elif isinstance(s, c.CIf):
+            scan_expr(s.cond)
+            scan_stmt(s.then)
+            if s.otherwise is not None:
+                scan_stmt(s.otherwise)
+        elif isinstance(s, c.CExprStmt):
+            scan_expr(s.expr)
+        elif isinstance(s, c.CReturn):
+            if s.value is not None:
+                scan_expr(s.value)
+
+    scan_stmt(fn.body)
+    changed = True
+    while changed:
+        changed = False
+        for target, ids in flows:
+            if target in written and not ids <= written:
+                written |= ids
+                changed = True
+    return written
+
+
 # ---------------------------------------------------------------------------
 # lane-batched values
 # ---------------------------------------------------------------------------
@@ -499,8 +675,10 @@ class _Block:
         global_size: tuple,
         local_size: tuple,
         num_groups: tuple,
-        hazards: Optional[dict] = None,
         seg_start: int = 0,
+        tracked: Optional[set] = None,
+        lane_ids: Optional[np.ndarray] = None,
+        full: Optional[np.ndarray] = None,
     ):
         self.parsed = parsed
         self.counters = counters
@@ -513,16 +691,21 @@ class _Block:
         self.local_size = local_size
         self.num_groups = num_groups
         self.env: dict = {}
-        self._lane_ids = np.arange(lanes)
+        self._lane_ids = lane_ids if lane_ids is not None else np.arange(lanes)
         self._load_log: dict = {}  # (id(buffer), width) -> _LoadLog
-        # Race detectors are shared across the blocks of one launch;
-        # segments increase monotonically, and entries stamped before
-        # this block's first segment are stale by construction.
-        self._hazards = hazards if hazards is not None else {}
+        # Race detectors live for one block (blocks run in the scalar
+        # engine's group order, so cross-block conflicts agree by
+        # construction); the backing arrays are pooled across blocks and
+        # launches, kept valid by the monotonic segment epoch.
+        self._hazards: dict = {}
+        # ``None`` tracks every shared buffer; a set restricts hazard
+        # bookkeeping to the arrays some lane may write (see
+        # :func:`written_pointer_roots`).
+        self._tracked = tracked
         self._seg_base = seg_start
         self._segment = seg_start
         self._lanes_per_group = local_size[0] * local_size[1] * local_size[2]
-        self._full = np.ones(lanes, dtype=bool)
+        self._full = full if full is not None else np.ones(lanes, dtype=bool)
 
     # -- top level -------------------------------------------------------
     def run(self, kernel: c.CFunctionDef) -> None:
@@ -537,7 +720,7 @@ class _Block:
             for sub in s.stmts:
                 if frame.returned_any:
                     m = m & ~frame.ret_mask
-                    n = int(m.sum())
+                    n = int(np.count_nonzero(m))
                     if n == 0:
                         return
                 self.exec_stmt(sub, m, n, frame)
@@ -550,20 +733,20 @@ class _Block:
                 self.exec_stmt(s.init, m, n, frame)
             active = m & ~frame.ret_mask if frame.returned_any else m
             while True:
-                na = int(active.sum())
+                na = int(np.count_nonzero(active))
                 if na == 0:
                     break
                 if s.cond is not None:
                     cv = self._as_bool(self.eval(s.cond, active, na), active)
                     active = active & cv
-                    na = int(active.sum())
+                    na = int(np.count_nonzero(active))
                     if na == 0:
                         break
                 self.counters.loop_iterations += na
                 self.exec_stmt(s.body, active, na, frame)
                 if frame.returned_any:
                     active = active & ~frame.ret_mask
-                    na = int(active.sum())
+                    na = int(np.count_nonzero(active))
                     if na == 0:
                         break
                 if s.step is not None:
@@ -572,7 +755,7 @@ class _Block:
             self.counters.branches += n
             cv = self._as_bool(self.eval(s.cond, m, n), m)
             mt = m & cv
-            nt = int(mt.sum())
+            nt = int(np.count_nonzero(mt))
             if nt:
                 self.exec_stmt(s.then, mt, nt, frame)
             if s.otherwise is not None and nt < n:
@@ -771,7 +954,7 @@ class _Block:
             if op == "&&" or op == "||":
                 lb = self._as_bool(self.eval(e.lhs, m, n), m)
                 m2 = (m & lb) if op == "&&" else (m & ~lb)
-                n2 = int(m2.sum())
+                n2 = int(np.count_nonzero(m2))
                 if n2:
                     rb = self._as_bool(self.eval(e.rhs, m2, n2), m2)
                 else:
@@ -792,7 +975,7 @@ class _Block:
             self.counters.branches += n
             cv = self._as_bool(self.eval(e.cond, m, n), m)
             mt = m & cv
-            nt = int(mt.sum())
+            nt = int(np.count_nonzero(mt))
             nf = n - nt
             if nf == 0:
                 return self.eval(e.then, mt, nt)
@@ -944,30 +1127,26 @@ class _Block:
             return v
         return np.broadcast_to(np.asarray(v), (self.L,))
 
-    def _log_load(self, ptr, addr, width, m, n) -> None:
+    def _log_load(self, ptr, aa, lanes, width, n) -> None:
         """Record a global/local load for deferred cached-load accounting.
 
         The scalar interpreter charges a load as *cached* when the same
         work-item already loaded the same address; the totals therefore
         equal ``events - distinct (lane, address) pairs`` — an
-        order-independent quantity we can settle with one ``np.unique``
-        per buffer at block end, instead of a per-event bitmap.
+        order-independent quantity settled once per buffer at block end
+        (see :class:`_LoadLog`), instead of a per-event bitmap.
+
+        ``aa``/``lanes`` are the flattened active addresses from
+        :meth:`_flat_addr` — shared with the race detector, and
+        equivalent for counting distinct pairs because each lane's
+        row is a function of the lane.
         """
         key = (id(ptr.array), width)
         log = self._load_log.get(key)
         if log is None:
-            log = _LoadLog(ptr.array, ptr.space, width)
+            log = _LoadLog(ptr.array, ptr.space, width, self.L)
             self._load_log[key] = log
-        if _is_uniform(addr):
-            if n == self.L:
-                encoded = int(addr) * self.L + self._lane_ids
-            else:
-                encoded = int(addr) * self.L + self._lane_ids[m]
-        elif n == self.L:
-            encoded = addr * self.L + self._lane_ids
-        else:
-            encoded = addr[m] * self.L + self._lane_ids[m]
-        log.add(encoded, n)
+        log.add(aa, lanes, n)
 
     def _flush_load_log(self) -> None:
         counters = self.counters
@@ -990,13 +1169,32 @@ class _Block:
         else:
             counters.private_stores += count
 
-    def _hazard(self, array: np.ndarray) -> "_Hazard":
-        key = id(array)
+    def _hazard(self, ptr):
+        key = id(ptr.array)
         entry = self._hazards.get(key)
         if entry is None:
-            entry = _Hazard(array, self._lanes_per_group)
+            # The packed local detector encodes lane ids below
+            # SEG_SCALE; oversized work-groups (possible, since a block
+            # always holds at least one whole group) use the general
+            # detector, which is sound for any buffer.
+            cls = (
+                _HazardLocal
+                if ptr.space == "local" and self.L <= _HazardLocal.SEG_SCALE
+                else _Hazard
+            )
+            entry = _acquire_hazard(ptr.array.size, cls).retarget(
+                ptr.array, self._lanes_per_group
+            )
             self._hazards[key] = entry
         return entry
+
+    def _needs_hazard(self, ptr) -> bool:
+        tracked = self._tracked
+        if tracked is None:
+            return True
+        if id(ptr.array) in tracked:
+            return True
+        return False
 
     def _flat_addr(self, ptr, addr, m, n):
         """(flat addresses, lanes) for the active lanes of an access."""
@@ -1013,38 +1211,90 @@ class _Block:
         return aa, lanes
 
     def _gather(self, ptr, index, m, n):
-        addr = ptr.offset + index
+        off = ptr.offset
+        addr = index if type(off) is int and off == 0 else off + index
+        arr = ptr.array
+        is_row = type(ptr) is RowPtr
         if ptr.space == "private":
             self.counters.private_loads += n
+            if _is_uniform(addr):
+                return arr[ptr.rows, int(addr)] if is_row else arr[int(addr)]
+            safe = addr if n == self.L else np.where(m, addr, 0)
+            return arr[ptr.rows, safe] if is_row else arr[safe]
+        # Shared buffer: the flattened per-lane addresses are computed
+        # once and shared between the load log, the race detector and
+        # the gather itself.
+        if is_row:
+            flat = ptr.rows * arr.shape[1] + addr  # broadcasts uniform addr
+        elif isinstance(addr, np.ndarray):
+            flat = addr
         else:
-            self._log_load(ptr, addr, 0, m, n)
-            aa, lanes = self._flat_addr(ptr, addr, m, n)
-            self._hazard(ptr.array).note_read(aa, lanes, self._segment, self._seg_base)
+            flat = None  # uniform address into a flat buffer
+        if n == self.L:
+            lanes = self._lane_ids
+            aa = flat if flat is not None else (
+                np.broadcast_to(np.asarray(addr), (n,))
+            )
+        else:
+            lanes = self._lane_ids[m]
+            aa = flat[m] if flat is not None else (
+                np.broadcast_to(np.asarray(addr), (n,))
+            )
+        self._log_load(ptr, aa, lanes, 0, n)
+        if self._needs_hazard(ptr):
+            self._hazard(ptr).note_read(aa, lanes, self._segment, self._seg_base)
         if _is_uniform(addr):
-            if isinstance(ptr, VPtr):
-                return ptr.array[int(addr)]
-            return ptr.array[ptr.rows, int(addr)]
-        safe = np.where(m, addr, 0)
-        if isinstance(ptr, VPtr):
-            return ptr.array[safe]
-        return ptr.array[ptr.rows, safe]
+            return arr[ptr.rows, int(addr)] if is_row else arr[int(addr)]
+        # Inactive lanes read a safe dummy address; with a full mask the
+        # addresses are already all valid.
+        if is_row:
+            safe = flat if n == self.L else np.where(m, flat, 0)
+            return arr.reshape(-1)[safe]
+        safe = addr if n == self.L else np.where(m, addr, 0)
+        return arr[safe]
 
     def _scatter(self, ptr, index, value, m, n) -> None:
-        addr = self._lanes(ptr.offset + index)
+        off = ptr.offset
+        addr = self._lanes(
+            index if type(off) is int and off == 0 else off + index
+        )
         values = self._lanes(value)
+        arr = ptr.array
+        is_row = type(ptr) is RowPtr
         if ptr.space != "private":
-            aa, lanes = self._flat_addr(ptr, addr, m, n)
-            self._hazard(ptr.array).note_write(aa, lanes, self._segment, self._seg_base)
-        if isinstance(ptr, VPtr):
+            if not self._needs_hazard(ptr):
+                # The static analysis said this buffer is never written;
+                # a store through it means the analysis was wrong —
+                # bail to the (always correct) scalar path.
+                raise VectorUnsupported(
+                    "store through a buffer the write analysis missed"
+                )
+            flat = ptr.rows * arr.shape[1] + addr if is_row else addr
             if n == self.L:
-                ptr.array[addr] = values
+                aa = flat
+                lanes = self._lane_ids
             else:
-                ptr.array[addr[m]] = values[m]
+                aa = flat[m]
+                lanes = self._lane_ids[m]
+            self._hazard(ptr).note_write(aa, lanes, self._segment, self._seg_base)
+            # Duplicate addresses resolve in ascending lane order in a
+            # flat fancy-store, exactly like the 2-D form.
+            if n == self.L:
+                arr.reshape(-1)[aa] = values
+            else:
+                arr.reshape(-1)[aa] = values[m]
+            self._count_stores(ptr.space, n)
+            return
+        if is_row:
+            if n == self.L:
+                arr[ptr.rows, addr] = values
+            else:
+                arr[ptr.rows[m], addr[m]] = values[m]
         else:
             if n == self.L:
-                ptr.array[ptr.rows, addr] = values
+                arr[addr] = values
             else:
-                ptr.array[ptr.rows[m], addr[m]] = values[m]
+                arr[addr[m]] = values[m]
         self._count_stores(ptr.space, n)
 
     def _vload(self, ptr, offset, width, m, n):
@@ -1053,14 +1303,15 @@ class _Block:
         if ptr.space == "private":
             self.counters.private_loads += n * width
         else:
-            self._log_load(ptr, start, width, m, n)
             aa, lanes = self._flat_addr(ptr, start, m, n)
-            self._hazard(ptr.array).note_read(
-                (aa[:, None] + cols).ravel(),
-                np.repeat(lanes, width),
-                self._segment,
-                self._seg_base,
-            )
+            self._log_load(ptr, aa, lanes, width, n)
+            if self._needs_hazard(ptr):
+                self._hazard(ptr).note_read(
+                    (aa[:, None] + cols).ravel(),
+                    np.repeat(lanes, width),
+                    self._segment,
+                    self._seg_base,
+                )
         if _is_uniform(start):
             start = int(start)
             if isinstance(ptr, VPtr):
@@ -1079,8 +1330,12 @@ class _Block:
             raise VectorUnsupported("vstore of a non-vector value")
         cols = np.arange(width)
         if ptr.space != "private":
+            if not self._needs_hazard(ptr):
+                raise VectorUnsupported(
+                    "store through a buffer the write analysis missed"
+                )
             aa, lanes = self._flat_addr(ptr, start, m, n)
-            self._hazard(ptr.array).note_write(
+            self._hazard(ptr).note_write(
                 (aa[:, None] + cols).ravel(),
                 np.repeat(lanes, width),
                 self._segment,
@@ -1225,12 +1480,22 @@ class _Hazard:
 
     Bookkeeping is fully vectorized: per address, the writing lane and
     the min/max reading lanes, each epoch-stamped with the barrier
-    segment.  Segments increase monotonically across blocks, so one
-    detector serves the whole launch: entries stamped before the
-    current block's first segment are simply stale — nothing is ever
-    cleared.  Within a single statement all lanes are simultaneous in
-    both engines, so intra-statement duplicates are not conflicts;
-    checks run against the pre-statement state only.
+    segment.  Segments increase monotonically across blocks *and across
+    launches* (``_pool_tls.epoch``), so the stamp arrays never
+    need re-initialization: entries stamped before the current block's
+    first segment are simply stale — nothing is ever cleared, which is
+    what lets :func:`_acquire_hazard` pool the five bookkeeping arrays
+    across blocks and launches instead of re-allocating ~5x the buffer
+    size per launch.  Within a single statement all lanes are
+    simultaneous in both engines, so intra-statement duplicates are not
+    conflicts; checks run against the pre-statement state only.
+
+    Local (row-partitioned) buffers use :class:`_HazardLocal` instead:
+    their flat addresses embed the work-group ordinal, so two accesses
+    to one address are always same-group, the cross-group terms vanish,
+    and only same-*segment* conflicts remain — which admits a packed
+    ``segment * SEG_SCALE + lane`` representation with one array per
+    access kind.
     """
 
     __slots__ = (
@@ -1238,28 +1503,35 @@ class _Hazard:
         "w_stamp", "writer", "r_stamp", "r_min", "r_max",
     )
 
-    def __init__(self, array: np.ndarray, lanes_per_group: int):
-        size = array.size
-        self.array = array
-        self.lanes_per_group = lanes_per_group
+    def __init__(self, size: int):
+        self.array: Optional[np.ndarray] = None
+        self.lanes_per_group = 1
         self.w_stamp = np.full(size, -1, dtype=np.int64)
         self.writer = np.zeros(size, dtype=np.int64)
         self.r_stamp = np.full(size, -1, dtype=np.int64)
         self.r_min = np.zeros(size, dtype=np.int64)
         self.r_max = np.zeros(size, dtype=np.int64)
 
+    def retarget(self, array: np.ndarray, lanes_per_group: int) -> "_Hazard":
+        """Bind a pooled detector to a buffer.  Old stamps are stale by
+        the epoch argument callers pass (always past stamps), so the
+        arrays keep whatever they contained."""
+        self.array = array
+        self.lanes_per_group = lanes_per_group
+        return self
+
     def note_read(
         self, addrs: np.ndarray, lanes: np.ndarray, seg: int, base: int
     ) -> None:
-        l0 = self.lanes_per_group
         stamp = self.w_stamp[addrs]
         writer = self.writer[addrs]
+        l0 = self.lanes_per_group
         conflict = (
             (stamp >= base)
             & (writer != lanes)
             & ((stamp == seg) | (writer // l0 != lanes // l0))
         )
-        if bool(np.any(conflict)):
+        if conflict.any():
             raise VectorUnsupported(
                 "cross-lane read of an address written by another "
                 "work-item (order-dependent result)"
@@ -1280,18 +1552,18 @@ class _Hazard:
     def note_write(
         self, addrs: np.ndarray, lanes: np.ndarray, seg: int, base: int
     ) -> None:
-        l0 = self.lanes_per_group
-        groups = lanes // l0
         w_stamp = self.w_stamp[addrs]
         writer = self.writer[addrs]
+        r_stamp = self.r_stamp[addrs]
+        r_min = self.r_min[addrs]
+        r_max = self.r_max[addrs]
+        l0 = self.lanes_per_group
+        groups = lanes // l0
         conflict = (
             (w_stamp >= base)
             & (writer != lanes)
             & ((w_stamp == seg) | (writer // l0 != groups))
         )
-        r_stamp = self.r_stamp[addrs]
-        r_min = self.r_min[addrs]
-        r_max = self.r_max[addrs]
         conflict |= (
             (r_stamp >= base)
             & ((r_min != lanes) | (r_max != lanes))
@@ -1301,7 +1573,7 @@ class _Hazard:
                 | (r_max // l0 != groups)
             )
         )
-        if bool(np.any(conflict)):
+        if conflict.any():
             raise VectorUnsupported(
                 "cross-lane write/read conflict (order-dependent result)"
             )
@@ -1309,35 +1581,246 @@ class _Hazard:
         self.w_stamp[addrs] = seg
 
 
-class _LoadLog:
-    """Deferred per-buffer load accounting (see ``_Block._log_load``)."""
+class _HazardLocal:
+    """Race detector for row-partitioned local buffers.
 
-    __slots__ = ("array", "space", "width_units", "chunks", "events", "_pending")
+    Cross-group conflicts are structurally impossible (the flat address
+    embeds the group row), and same-group accesses in different barrier
+    segments are ordered by the barrier in both engines — so only
+    *same-segment* conflicts remain.  That admits packing each entry as
+    ``segment * SEG_SCALE + lane``: the monotonically increasing
+    segment makes ``np.maximum`` both the update rule and the staleness
+    filter (older segments always lose), and a single comparison against
+    ``segment * SEG_SCALE`` tests "touched in this segment".
+
+    ``r_hi`` keeps the packed *largest* reader lane of the latest
+    segment; ``r_lo`` the smallest, stored lane-inverted
+    (``SEG_SCALE-1 - lane``) so the same max-update applies.  Compared
+    to the block-accumulating min/max of :class:`_Hazard` this is
+    *more* precise for the write check (an earlier-segment reader is
+    barrier-ordered and no longer triggers a conservative fallback) and
+    equally sound: any same-segment foreign-lane access survives the
+    max against older entries.
+    """
+
+    #: Must exceed the largest lane index of a block (``MAX_LANES``).
+    SEG_SCALE = 1 << 13
+
+    __slots__ = ("array", "w_pack", "r_hi", "r_lo", "w_seg", "r_seg")
+
+    def __init__(self, size: int):
+        self.array: Optional[np.ndarray] = None
+        self.w_pack = np.full(size, -1, dtype=np.int64)
+        self.r_hi = np.full(size, -1, dtype=np.int64)
+        self.r_lo = np.full(size, -1, dtype=np.int64)
+        # Last segment with any write/read of this buffer.  Segments are
+        # globally unique (monotonic epochs), so a plain int comparison
+        # tells "was this buffer touched earlier in this segment" —
+        # which gates the per-address conflict scans below.
+        self.w_seg = -1
+        self.r_seg = -1
+
+    def retarget(self, array: np.ndarray, lanes_per_group: int) -> "_HazardLocal":
+        self.array = array
+        return self
+
+    def note_read(
+        self, addrs: np.ndarray, lanes: np.ndarray, seg: int, base: int
+    ) -> None:
+        scale = self.SEG_SCALE
+        thr = seg * scale
+        t_hi = lanes + thr
+        if self.w_seg == seg:
+            # Only a write earlier in this very segment can conflict
+            # with a read; otherwise skip the scan entirely.
+            packed = self.w_pack[addrs]
+            conflict = (packed >= thr) & (packed != t_hi)
+            if conflict.any():
+                raise VectorUnsupported(
+                    "cross-lane read of an address written by another "
+                    "work-item (order-dependent result)"
+                )
+        # Duplicate addresses within one call: lanes ascend, so the
+        # forward scatter keeps the largest packed hi and the reversed
+        # scatter the largest packed lo (= smallest lane).
+        self.r_hi[addrs] = np.maximum(self.r_hi[addrs], t_hi)
+        t_lo = (thr + scale - 1) - lanes
+        lo = np.maximum(self.r_lo[addrs], t_lo)
+        self.r_lo[addrs[::-1]] = lo[::-1]
+        self.r_seg = seg
+
+    def note_write(
+        self, addrs: np.ndarray, lanes: np.ndarray, seg: int, base: int
+    ) -> None:
+        scale = self.SEG_SCALE
+        thr = seg * scale
+        t_hi = lanes + thr
+        conflict = None
+        if self.w_seg == seg:
+            packed = self.w_pack[addrs]
+            conflict = (packed >= thr) & (packed != t_hi)
+        if self.r_seg == seg:
+            t_lo = (thr + scale - 1) - lanes
+            r_hi = self.r_hi[addrs]
+            r_conflict = (r_hi >= thr) & (
+                (r_hi != t_hi) | (self.r_lo[addrs] != t_lo)
+            )
+            conflict = r_conflict if conflict is None else conflict | r_conflict
+        if conflict is not None and conflict.any():
+            raise VectorUnsupported(
+                "cross-lane write/read conflict (order-dependent result)"
+            )
+        self.w_pack[addrs] = t_hi
+        self.w_seg = seg
+
+
+# -- pooled per-thread runtime state ----------------------------------------
+#
+# The autotune and explore loops re-launch the same kernel hundreds of
+# times; allocating fresh hazard arrays, geometry arrays and lane masks
+# per launch dominates small launches.  All pools are thread-local (the
+# explorer evaluates candidates on a thread pool) and bounded.
+
+_pool_tls = _threading.local()
+
+#: Hazard detectors above this buffer size are not pooled (their arrays
+#: would pin too much memory between launches).
+_HAZARD_POOL_MAX_SIZE = 1 << 20
+_HAZARD_POOL_PER_SIZE = 8
+#: Total bookkeeping bytes one thread's pool may pin between launches.
+_HAZARD_POOL_MAX_BYTES = 64 << 20
+
+#: Launch geometries with more work-items than this are recomputed per
+#: launch instead of cached.
+_GEOMETRY_CACHE_MAX_ITEMS = 1 << 16
+_GEOMETRY_CACHE_ENTRIES = 8
+
+
+def _hazard_bytes(hz) -> int:
+    if type(hz) is _HazardLocal:
+        return 3 * 8 * hz.w_pack.size
+    return 5 * 8 * hz.w_stamp.size
+
+
+def _acquire_hazard(size: int, cls) -> "_Hazard | _HazardLocal":
+    if size > _HAZARD_POOL_MAX_SIZE:
+        return cls(size)
+    pool = getattr(_pool_tls, "hazards", None)
+    if pool is None:
+        pool = {}
+        _pool_tls.hazards = pool
+    stack = pool.get((size, cls))
+    if stack:
+        hz = stack.pop()
+        _pool_tls.hazard_bytes = (
+            getattr(_pool_tls, "hazard_bytes", 0) - _hazard_bytes(hz)
+        )
+        return hz
+    return cls(size)
+
+
+def _release_hazards(hazards: dict) -> None:
+    pool = getattr(_pool_tls, "hazards", None)
+    if pool is None:
+        pool = {}
+        _pool_tls.hazards = pool
+    pooled_bytes = getattr(_pool_tls, "hazard_bytes", 0)
+    for hz in hazards.values():
+        array = hz.array
+        if array is None:
+            continue
+        size = array.size
+        hz.array = None  # do not pin the buffer
+        if size > _HAZARD_POOL_MAX_SIZE:
+            continue
+        cost = _hazard_bytes(hz)
+        if pooled_bytes + cost > _HAZARD_POOL_MAX_BYTES:
+            continue
+        stack = pool.setdefault((size, type(hz)), [])
+        if len(stack) < _HAZARD_POOL_PER_SIZE:
+            stack.append(hz)
+            pooled_bytes += cost
+    _pool_tls.hazard_bytes = pooled_bytes
+    hazards.clear()
+
+
+class _LoadLog:
+    """Deferred per-buffer load accounting (see ``_Block._log_load``).
+
+    Chunks are stored as raw ``(addresses, lanes)`` pairs; the
+    ``addr * L + lane`` encoding is deferred to :meth:`totals` so a
+    whole block's worth of events is encoded with one batched
+    multiply-add instead of two small array ops per load site.
+    """
+
+    __slots__ = (
+        "array", "space", "width_units", "lane_count",
+        "chunks", "events", "_pending",
+    )
 
     #: Compact (deduplicate) the pending chunks past this many entries.
     COMPACT_AT = 1 << 22
 
-    def __init__(self, array: np.ndarray, space: str, width: int):
+    def __init__(self, array: np.ndarray, space: str, width: int, lane_count: int):
         self.array = array  # keep the buffer alive while its id is a key
         self.space = space
         self.width_units = width if width else 1
-        self.chunks: list = []
+        self.lane_count = lane_count
+        self.chunks: list = []  # (addresses, lanes) or (encoded, None)
         self.events = 0
         self._pending = 0
 
-    def add(self, encoded: np.ndarray, n: int) -> None:
-        self.chunks.append(encoded)
+    def add(self, aa: np.ndarray, lanes: np.ndarray, n: int) -> None:
+        self.chunks.append((aa, lanes))
         self.events += n
         self._pending += n
         if self._pending > self.COMPACT_AT:
-            self.chunks = [np.unique(np.concatenate(self.chunks))]
-            self._pending = len(self.chunks[0])
+            self.chunks = [(_distinct_sorted(self._encode_all()), None)]
+            self._pending = int(self.chunks[0][0].size)
+
+    def _encode_all(self) -> np.ndarray:
+        L = self.lane_count
+        parts: list = []
+        raw_aa: list = []
+        raw_lanes: list = []
+        for aa, lanes in self.chunks:
+            if lanes is None:
+                parts.append(aa)
+            else:
+                raw_aa.append(aa)
+                raw_lanes.append(lanes)
+        if raw_aa:
+            if len(raw_aa) == 1:
+                parts.append(raw_aa[0] * L + raw_lanes[0])
+            else:
+                parts.append(
+                    np.concatenate(raw_aa) * L + np.concatenate(raw_lanes)
+                )
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     def totals(self) -> tuple:
         if not self.chunks:
             return 0, 0
-        distinct = np.unique(np.concatenate(self.chunks)).size
-        return self.events, int(distinct)
+        if len(self.chunks) == 1:
+            # One chunk means one execution of one load site: the
+            # ``addr * L + lane`` encoding is injective over the
+            # distinct active lanes, so every entry is already unique.
+            return self.events, int(self.chunks[0][0].size)
+        cat = np.sort(self._encode_all())
+        distinct = 1 + int(np.count_nonzero(cat[1:] != cat[:-1]))
+        return self.events, distinct
+
+
+def _distinct_sorted(values: np.ndarray) -> np.ndarray:
+    """Sorted unique values (plain sort beats hash-based ``np.unique``
+    for the int64 address codes the load log stores)."""
+    if values.size == 0:
+        return values
+    values = np.sort(values)
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
 
 
 def _vclamp(x, lo, hi):
@@ -1392,6 +1875,7 @@ def try_launch(
     local_decls: list,
     counters: Counters,
     strict: bool = False,
+    pipeline=None,
 ) -> bool:
     """Run the launch on the vector engine.
 
@@ -1400,6 +1884,10 @@ def try_launch(
     from a snapshot and ``False`` is returned so the caller can re-run
     the scalar path — unless ``strict`` (``engine="vector"``), which
     re-raises as :class:`VectorizationError`.
+
+    ``pipeline`` is an optional compiled closure pipeline from
+    :mod:`repro.opencl.simt_compile`; without one each block interprets
+    the kernel AST.
     """
     snapshot = [
         (v.array, v.array.copy())
@@ -1409,19 +1897,38 @@ def try_launch(
     staged = Counters()
     try:
         with np.errstate(all="ignore"):
-            _run_blocks(parsed, kernel, gsize, lsize, base_env, local_decls, staged)
+            _run_blocks(
+                parsed, kernel, gsize, lsize, base_env, local_decls, staged,
+                pipeline,
+            )
     except VectorUnsupported as exc:
         if strict:
             raise VectorizationError(str(exc)) from exc
         for array, saved in snapshot:
             array[:] = saved
         return False
-    for name in vars(staged):
-        setattr(counters, name, getattr(counters, name) + getattr(staged, name))
+    counters.merge_in(staged)
     return True
 
 
-def _run_blocks(parsed, kernel, gsize, lsize, base_env, local_decls, counters):
+def _block_geometry(gsize: tuple, lsize: tuple) -> dict:
+    """Per-block lane geometry, cached per launch shape.
+
+    The returned arrays are shared (and marked read-only): the engine
+    only ever derives new arrays from them.  The autotune/explore loops
+    re-launch identical geometries hundreds of times, which makes the
+    ``tile``/``repeat`` setup a measurable share of small launches.
+    """
+    key = (gsize, lsize)
+    cache: "OrderedDict[tuple, dict]" = getattr(_pool_tls, "geometry", None)
+    if cache is None:
+        cache = OrderedDict()
+        _pool_tls.geometry = cache
+    hit = cache.get(key)
+    if hit is not None:
+        cache.move_to_end(key)
+        return hit
+
     num_groups = tuple(g // l for g, l in zip(gsize, lsize))
     total_groups = num_groups[0] * num_groups[1] * num_groups[2]
     lanes_per_group = lsize[0] * lsize[1] * lsize[2]
@@ -1438,6 +1945,7 @@ def _run_blocks(parsed, kernel, gsize, lsize, base_env, local_decls, counters):
         l0 // (lsize[0] * lsize[1]),
     )
 
+    blocks = []
     for start in range(0, total_groups, block_groups):
         ords = np.arange(start, min(start + block_groups, total_groups))
         n_groups = len(ords)
@@ -1451,25 +1959,89 @@ def _run_blocks(parsed, kernel, gsize, lsize, base_env, local_decls, counters):
         lid = tuple(np.tile(lid_group[d], n_groups) for d in range(3))
         group_ids = tuple(group_dims[d][group_row] for d in range(3))
         gid = tuple(group_ids[d] * lsize[d] + lid[d] for d in range(3))
-
-        block = _Block(
-            parsed, counters, lanes, group_row, lid, gid, group_ids,
-            gsize, lsize, num_groups,
+        lane_ids = np.arange(lanes)
+        full = np.ones(lanes, dtype=bool)
+        for arr in (group_row, lane_ids, full, *lid, *group_ids, *gid):
+            arr.setflags(write=False)
+        blocks.append(
+            {
+                "n_groups": n_groups,
+                "lanes": lanes,
+                "group_row": group_row,
+                "lid": lid,
+                "gid": gid,
+                "group_ids": group_ids,
+                "lane_ids": lane_ids,
+                "full": full,
+            }
         )
-        env = dict(base_env)
-        for name, value in env.items():
-            if isinstance(value, Pointer):
-                env[name] = VPtr(value.array, value.offset, value.space)
+
+    geometry = {
+        "num_groups": num_groups,
+        "total_groups": total_groups,
+        "lanes_per_group": lanes_per_group,
+        "blocks": blocks,
+    }
+    if total_groups * lanes_per_group <= _GEOMETRY_CACHE_MAX_ITEMS:
+        cache[key] = geometry
+        while len(cache) > _GEOMETRY_CACHE_ENTRIES:
+            cache.popitem(last=False)
+    return geometry
+
+
+def _run_blocks(
+    parsed, kernel, gsize, lsize, base_env, local_decls, counters,
+    pipeline=None,
+):
+    geometry = _block_geometry(gsize, lsize)
+    num_groups = geometry["num_groups"]
+
+    written = written_pointer_roots(parsed, kernel)
+    tracked = {
+        id(v.array)
+        for name, v in base_env.items()
+        if isinstance(v, Pointer) and name in written
+    }
+
+    vptr_env = dict(base_env)
+    for name, value in vptr_env.items():
+        if isinstance(value, Pointer):
+            vptr_env[name] = VPtr(value.array, value.offset, value.space)
+
+    for geo in geometry["blocks"]:
+        n_groups = geo["n_groups"]
+        group_row = geo["group_row"]
+        block_tracked = tracked
+        env = dict(vptr_env)
         for decl in local_decls:
             dtype = (
                 np.int64 if decl.type_name in ("int", "uint", "long") else np.float64
             )
-            env[decl.name] = RowPtr(
-                np.zeros((n_groups, decl.array_size), dtype=dtype),
-                group_row,
-                0,
-                "local",
-            )
+            local_array = np.zeros((n_groups, decl.array_size), dtype=dtype)
+            env[decl.name] = RowPtr(local_array, group_row, 0, "local")
+            if decl.name in written:
+                if block_tracked is tracked:
+                    block_tracked = set(tracked)
+                block_tracked.add(id(local_array))
+
+        block = _Block(
+            parsed, counters, geo["lanes"], group_row, geo["lid"],
+            geo["gid"], geo["group_ids"], gsize, lsize, num_groups,
+            seg_start=getattr(_pool_tls, "epoch", 0),
+            tracked=block_tracked,
+            lane_ids=geo["lane_ids"],
+            full=geo["full"],
+        )
         block.env = env
-        block.run(kernel)
-    counters.work_items += total_groups * lanes_per_group
+        try:
+            if pipeline is not None:
+                pipeline.run(block)
+                block._flush_load_log()
+            else:
+                block.run(kernel)
+        finally:
+            _pool_tls.epoch = block._segment + 1
+            _release_hazards(block._hazards)
+    counters.work_items += (
+        geometry["total_groups"] * geometry["lanes_per_group"]
+    )

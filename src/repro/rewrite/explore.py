@@ -133,6 +133,11 @@ class ExploreStats:
     kernel_cache_misses: int = 0
     cycle_cache_hits: int = 0
     cycle_cache_misses: int = 0
+    #: Closure pipelines compiled during evaluation — at most one per
+    #: distinct kernel; repeat launches of a candidate reuse the
+    #: pipeline through the source-keyed parse LRU (see
+    #: :mod:`repro.opencl.simt_compile`).
+    pipeline_compiles: int = 0
 
     def dedup_hit_rate(self) -> float:
         return self.dedup_hits / self.enumerated if self.enumerated else 0.0
@@ -165,6 +170,7 @@ class ExploreStats:
             "cycle_cache_hits": self.cycle_cache_hits,
             "cycle_cache_misses": self.cycle_cache_misses,
             "cycle_cache_hit_rate": round(self.cycle_cache_hit_rate(), 4),
+            "pipeline_compiles": self.pipeline_compiles,
         }
 
 
@@ -564,6 +570,9 @@ def explore_program(
         cand.kernel_source = kernel.source
         return cand, events, None
 
+    from repro.opencl import simt_compile
+
+    pipelines_before = simt_compile.compile_count()
     evaluated: list = []
     with ThreadPoolExecutor(max_workers=max(1, config.workers)) as pool:
         for cand, events, error in pool.map(evaluate, survivors):
@@ -579,6 +588,7 @@ def explore_program(
                 continue
             evaluated.append(cand)
     stats.evaluated = len(evaluated)
+    stats.pipeline_compiles = simt_compile.compile_count() - pipelines_before
 
     if cache is not None and cache_before is not None:
         after = cache.stats

@@ -22,14 +22,22 @@ from repro.opencl.interp import BarrierDivergence
 from repro.opencl.runtime import _parse_cached
 
 
-def run_both(source, global_size, local_size, make_args, kernel_name=None):
-    """Run a kernel on both engines; return (scalar, vector) results.
+#: The three execution tiers whose results must agree bitwise:
+#: the scalar reference interpreter, the interpretive lane-batched
+#: walk, and the closure-compiled pipeline.
+ENGINES = ("scalar", "interp", "compiled")
+
+
+def run_both(source, global_size, local_size, make_args, kernel_name=None,
+             engines=ENGINES):
+    """Run a kernel on every engine; returns one (buffers, counters)
+    pair per engine.
 
     ``make_args`` builds a fresh argument dict (with fresh output
     buffers) per engine so the engines cannot observe each other.
     """
     results = []
-    for engine in ("scalar", "vector"):
+    for engine in engines:
         program = OpenCLProgram(source)
         args = make_args()
         counters = launch(
@@ -46,17 +54,18 @@ def run_both(source, global_size, local_size, make_args, kernel_name=None):
 
 
 def assert_engines_agree(source, global_size, local_size, make_args):
-    (outs_s, c_s), (outs_v, c_v) = run_both(
-        source, global_size, local_size, make_args
-    )
-    for name in outs_s:
-        np.testing.assert_array_equal(
-            outs_s[name], outs_v[name],
-            err_msg=f"buffer {name!r} differs between engines",
+    results = run_both(source, global_size, local_size, make_args)
+    (outs_s, c_s) = results[0]
+    for engine, (outs, counters) in zip(ENGINES[1:], results[1:]):
+        for name in outs_s:
+            np.testing.assert_array_equal(
+                outs_s[name], outs[name],
+                err_msg=f"buffer {name!r} differs on engine {engine!r}",
+            )
+        assert vars(c_s) == vars(counters), (
+            f"counters differ on {engine!r}:\n"
+            f"scalar: {vars(c_s)}\n{engine}: {vars(counters)}"
         )
-    assert vars(c_s) == vars(c_v), (
-        f"counters differ:\nscalar: {vars(c_s)}\nvector: {vars(c_v)}"
-    )
 
 
 class TestDivergentControlFlow:
@@ -223,14 +232,16 @@ class TestDivergentControlFlow:
           out[i] = acc;
         }
         """
-        (outs_s, c_s), (outs_v, c_v) = run_both(
+        results = run_both(
             src, 16, 4,
             lambda: {"x": Buffer.from_array(np.arange(16, dtype=float) + 1),
                      "out": Buffer.zeros(16), "n": 3},
         )
+        outs_s, c_s = results[0]
         assert c_s.cached_loads > 0
-        assert vars(c_s) == vars(c_v)
-        np.testing.assert_array_equal(outs_s["out"], outs_v["out"])
+        for outs_v, c_v in results[1:]:
+            assert vars(c_s) == vars(c_v)
+            np.testing.assert_array_equal(outs_s["out"], outs_v["out"])
 
 
 class TestBarriers:
