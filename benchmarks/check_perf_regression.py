@@ -15,6 +15,13 @@ recorded on one box, CI runners are another), so the gate compares
   still perform **zero** recompilations with full cycle-cache hit
   rates, and the cold/warm wall-clock ratio must stay within
   ``TOLERANCE`` of the checked-in ``BENCH_explore.json`` baseline.
+* **explorer quality** — per benchmark, the explorer's best schedule
+  must still at least match the fixed menu (``best_vs_menu <= 1``), and
+  the derived-mm-vs-menu runtime ratio must stay within ``TOLERANCE``
+  of the baseline ratio: if the explorer stops deriving the 2-D tiled
+  mm schedule (or the cost model stops preferring it), this gate fails.
+  Both sides are simulated cycle estimates, so the ratios are
+  machine-independent.
 
 Exit status 0 = pass, 1 = regression (with a report on stdout).
 
@@ -149,6 +156,28 @@ def check_explore(metrics_path: Path, baseline_path: Path) -> list:
             failures.append(f"explore[{name}]: warm run recompiled kernels")
         if entry.get("warm_cycle_cache_hit_rate", 0.0) < 1.0:
             failures.append(f"explore[{name}]: warm run re-executed kernels")
+
+        ratio = entry.get("best_vs_menu")
+        if ratio is not None and ratio > 1.0 + 1e-9:
+            failures.append(
+                f"explore[{name}]: explorer best ({ratio:.3f}x menu) worse "
+                "than the fixed lowering menu"
+            )
+        base_entry = baseline.get("benchmarks", {}).get(name, {})
+        base_ratio = base_entry.get("best_vs_menu")
+        if ratio is not None and base_ratio is not None:
+            ceiling = base_ratio * (1.0 + TOLERANCE)
+            status = "ok" if ratio <= ceiling else "REGRESSION"
+            print(
+                f"[explore] {name}: best-vs-menu ratio {ratio:.3f} "
+                f"(baseline {base_ratio:.3f}, ceiling {ceiling:.3f}) {status}"
+            )
+            if ratio > ceiling:
+                failures.append(
+                    f"explore[{name}]: best-vs-menu ratio {ratio:.3f} above "
+                    f"ceiling {ceiling:.3f} — the explorer lost a derived "
+                    "schedule (for mm, the 2-D tiled one)"
+                )
 
     cold = metrics.get("cold_total_seconds")
     warm = metrics.get("warm_total_seconds")

@@ -89,6 +89,22 @@ def main() -> None:
     print("\n=== derivation-tree exploration (depth 2) ===")
     print(result.describe())
 
+    # Dimension-aware mapping: on a *nested* map program (matrix
+    # multiplication) the explorer's menu includes the 2-D tiling macro
+    # rule, and the parallelism-aware cost model prefers the wide tiled
+    # schedule — nested mapWrg(1)/mapWrg(0), a mapLcl nest and
+    # cooperative toLocal staging, derived, not hand-written.
+    from repro.benchsuite.common import get_benchmark
+
+    bench = get_benchmark("mm")
+    mm_inputs, mm_sizes = bench.inputs_for("small")
+    mm_result = explore_program(
+        bench.high_level(mm_sizes), mm_inputs, mm_sizes,
+        config=ExploreConfig(depth=2, max_eval=8), cache=cache,
+    )
+    print("\n=== 2-D tiled matrix multiply, derived by rewriting ===")
+    print(mm_result.describe(top=3))
+
 
 if __name__ == "__main__":
     main()

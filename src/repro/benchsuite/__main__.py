@@ -40,6 +40,10 @@ def main(argv=None) -> int:
         help="how many explore candidates to compile and simulate",
     )
     parser.add_argument(
+        "--device", default="nvidia", choices=["nvidia", "amd"],
+        help="device profile for explore's cost model",
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
         help="tuning-cache directory for explore/figure8 (default: "
              "REPRO_CACHE_DIR or ~/.cache/repro)",
@@ -88,6 +92,7 @@ def main(argv=None) -> int:
             max_eval=args.max_eval,
             size=args.sizes[0],
             cache_dir=args.cache_dir,
+            device=args.device,
         )
         print(format_explore(data))
 

@@ -327,3 +327,8 @@ def build_amd() -> Benchmark:
 
 register("mm-nvidia")(build_nvidia)
 register("mm-amd")(build_amd)
+# Plain "mm" (the name the explorer and the CLI use for the matrix
+# multiplication *high-level* program, which both variants share) maps
+# to the NVIDIA build; it is not part of ALL_BENCHMARKS, so Table 1 and
+# Figure 8 keep listing the two reference variants separately.
+register("mm")(build_nvidia)

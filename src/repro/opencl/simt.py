@@ -1306,11 +1306,10 @@ class _Block:
             aa, lanes = self._flat_addr(ptr, start, m, n)
             self._log_load(ptr, aa, lanes, width, n)
             if self._needs_hazard(ptr):
+                # 2-D (lane, slot) block: the detector broadcasts the
+                # lane ids itself — no per-access repeat/ravel copies.
                 self._hazard(ptr).note_read(
-                    (aa[:, None] + cols).ravel(),
-                    np.repeat(lanes, width),
-                    self._segment,
-                    self._seg_base,
+                    aa[:, None] + cols, lanes, self._segment, self._seg_base
                 )
         if _is_uniform(start):
             start = int(start)
@@ -1336,10 +1335,7 @@ class _Block:
                 )
             aa, lanes = self._flat_addr(ptr, start, m, n)
             self._hazard(ptr).note_write(
-                (aa[:, None] + cols).ravel(),
-                np.repeat(lanes, width),
-                self._segment,
-                self._seg_base,
+                aa[:, None] + cols, lanes, self._segment, self._seg_base
             )
         if n == self.L:
             idx2 = start[:, None] + cols
@@ -1352,7 +1348,10 @@ class _Block:
         if rows is None:
             ptr.array[idx2.ravel()] = vals.ravel()
         else:
-            ptr.array[np.repeat(rows, width), idx2.ravel()] = vals.ravel()
+            # 2-D fancy store broadcasts the row per vector slot; flat
+            # iteration order (and therefore duplicate-address
+            # resolution) matches the old repeat/ravel form.
+            ptr.array[rows[:, None], idx2] = vals
         self._count_stores(ptr.space, n * width)
 
     # -- operators -------------------------------------------------------
@@ -1457,6 +1456,12 @@ class _Block:
 _MISSING = object()
 
 
+def _rev(a: np.ndarray) -> np.ndarray:
+    """Reverse the flat (row-major) iteration order of a scatter index —
+    for 2-D blocks that means reversing both axes."""
+    return a[::-1] if a.ndim == 1 else a[::-1, ::-1]
+
+
 class _Hazard:
     """Cross-lane data-race detector for one shared buffer.
 
@@ -1523,6 +1528,13 @@ class _Hazard:
     def note_read(
         self, addrs: np.ndarray, lanes: np.ndarray, seg: int, base: int
     ) -> None:
+        """``addrs`` may be 1-D (one address per active lane) or 2-D
+        ``(lane, vector-slot)`` for whole ``vloadN`` accesses; the 2-D
+        form broadcasts the per-lane ids instead of ``np.repeat``-ing
+        them per access (row-major flattening preserves the ascending
+        lane order the duplicate-address scatters rely on)."""
+        if addrs.ndim == 2:
+            lanes = lanes[:, None]
         stamp = self.w_stamp[addrs]
         writer = self.writer[addrs]
         l0 = self.lanes_per_group
@@ -1545,13 +1557,16 @@ class _Hazard:
         new_max = np.where(valid, np.maximum(self.r_max[addrs], lanes), lanes)
         # Lanes ascend, so a forward scatter keeps the max for duplicate
         # addresses and a reversed scatter keeps the min.
-        self.r_min[addrs[::-1]] = new_min[::-1]
+        self.r_min[_rev(addrs)] = _rev(new_min)
         self.r_max[addrs] = new_max
         self.r_stamp[addrs] = seg
 
     def note_write(
         self, addrs: np.ndarray, lanes: np.ndarray, seg: int, base: int
     ) -> None:
+        """Accepts the same 1-D / 2-D address forms as :meth:`note_read`."""
+        if addrs.ndim == 2:
+            lanes = lanes[:, None]
         w_stamp = self.w_stamp[addrs]
         writer = self.writer[addrs]
         r_stamp = self.r_stamp[addrs]
@@ -1627,6 +1642,9 @@ class _HazardLocal:
     def note_read(
         self, addrs: np.ndarray, lanes: np.ndarray, seg: int, base: int
     ) -> None:
+        """1-D or 2-D ``addrs``; see :meth:`_Hazard.note_read`."""
+        if addrs.ndim == 2:
+            lanes = lanes[:, None]
         scale = self.SEG_SCALE
         thr = seg * scale
         t_hi = lanes + thr
@@ -1646,12 +1664,15 @@ class _HazardLocal:
         self.r_hi[addrs] = np.maximum(self.r_hi[addrs], t_hi)
         t_lo = (thr + scale - 1) - lanes
         lo = np.maximum(self.r_lo[addrs], t_lo)
-        self.r_lo[addrs[::-1]] = lo[::-1]
+        self.r_lo[_rev(addrs)] = _rev(lo)
         self.r_seg = seg
 
     def note_write(
         self, addrs: np.ndarray, lanes: np.ndarray, seg: int, base: int
     ) -> None:
+        """1-D or 2-D ``addrs``; see :meth:`_Hazard.note_read`."""
+        if addrs.ndim == 2:
+            lanes = lanes[:, None]
         scale = self.SEG_SCALE
         thr = seg * scale
         t_hi = lanes + thr

@@ -5,7 +5,10 @@ high-level Lift IL (generic ``map``/``reduce``) onto the OpenCL-specific
 low-level IL via semantics-preserving rewrite rules.  This package
 reproduces that substrate: algorithmic rules (fusion, split-join,
 vectorization), lowering rules (map -> mapGlb/mapWrg/mapLcl/mapSeq), a
-small strategy language, and deterministic lowering recipes.
+small strategy language, the dimension-aware mapping layer
+(:mod:`repro.rewrite.mapping`, including the 2-D tiling macro rule),
+and deterministic lowering recipes.  ``src/repro/rewrite/REWRITE.md``
+documents the whole rewrite → explore → cost stack.
 """
 
 from repro.rewrite.rules import (
@@ -15,6 +18,15 @@ from repro.rewrite.rules import (
     fusion_rules,
     lowering_rules,
     simplification_rules,
+)
+from repro.rewrite.mapping import (
+    MappingStrategy,
+    global_1d,
+    global_nd,
+    replace_map_nest,
+    tile_2d,
+    tiling_rules,
+    work_group_1d,
 )
 from repro.rewrite.strategies import (
     apply_at,
@@ -38,6 +50,7 @@ __all__ = [
     "ExploreStats",
     "ExploredCandidate",
     "explore_program",
+    "MappingStrategy",
     "RULES",
     "Rewrite",
     "Rule",
@@ -46,9 +59,15 @@ __all__ = [
     "exhaustively",
     "find_matches",
     "fusion_rules",
+    "global_1d",
+    "global_nd",
     "lower_to_global",
     "lower_to_work_groups",
     "lowering_rules",
+    "replace_map_nest",
     "rewrite_first",
     "simplification_rules",
+    "tile_2d",
+    "tiling_rules",
+    "work_group_1d",
 ]

@@ -22,7 +22,7 @@ from repro.ir.printer import print_decl
 from repro.compiler.codegen import CodeGenError, compile_kernel
 from repro.compiler.kernel import execute_kernel
 from repro.compiler.options import CompilerOptions
-from repro.opencl.cost import DEVICES, estimate_cycles
+from repro.opencl.cost import DEVICES, estimate_cycles, estimate_runtime
 from repro.rewrite.lowering import lower_to_global, lower_to_work_groups
 
 
@@ -41,9 +41,15 @@ class TuningResult:
     candidate: Candidate
     cycles: float
     kernel_source: str
+    #: ``cycles`` divided by the launch's effective parallelism — what
+    #: the ranking sorts by (see :func:`repro.opencl.cost.estimate_runtime`).
+    runtime: Optional[float] = None
 
     def __repr__(self) -> str:
-        return f"TuningResult({self.candidate.label}, {self.cycles:.0f} cycles)"
+        runtime = (
+            f", runtime {self.runtime:.1f}" if self.runtime is not None else ""
+        )
+        return f"TuningResult({self.candidate.label}, {self.cycles:.0f} cycles{runtime})"
 
 
 class TuningError(Exception):
@@ -186,7 +192,9 @@ def autotune(
     """Compile, run, verify and rank every candidate schedule.
 
     Returns the surviving candidates' :class:`TuningResult` list, sorted
-    best (fewest estimated cycles) first.  Candidates that fail to
+    best (smallest parallelism-aware estimated runtime — *not* fewest
+    total cycles; a wider schedule doing slightly more work can rank
+    first) first.  Candidates that fail to
     compile are skipped; candidates that compute a wrong answer raise —
     a miscompiled schedule is a bug, not a slow schedule.  ``engine``
     picks the simulator engine for every candidate execution (the
@@ -217,6 +225,7 @@ def autotune(
                 Candidate(c.label, c.program, c.local_size, c.global_size),
                 c.cycles,
                 c.kernel_source,
+                runtime=c.runtime,
             )
             for c in exploration.candidates
         ]
@@ -269,17 +278,24 @@ def autotune(
                 candidate,
                 estimate_cycles(run.counters, profile),
                 kernel.source,
+                runtime=estimate_runtime(
+                    run.counters, profile,
+                    candidate.global_size, candidate.local_size,
+                ),
             )
         )
 
     if not results:
         raise TuningError("no candidate schedule compiled")
-    results.sort(key=lambda r: r.cycles)
+    results.sort(key=lambda r: r.runtime)
     return results
 
 
 def describe(results: Iterable[TuningResult]) -> str:
-    lines = ["schedule ranking (fewest estimated cycles first):"]
+    lines = ["schedule ranking (fastest estimated runtime first):"]
     for rank, r in enumerate(results, 1):
-        lines.append(f"  {rank}. {r.candidate.label:<28} {r.cycles:>12.0f} cycles")
+        lines.append(
+            f"  {rank}. {r.candidate.label:<28} {r.runtime:>12.1f} est "
+            f"({r.cycles:.0f} cycles)"
+        )
     return "\n".join(lines)

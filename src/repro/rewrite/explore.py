@@ -18,20 +18,30 @@ structural hash of :mod:`repro.ir.structural` — alpha-equivalent
 programs (every rule application clones and renames) collapse to one
 node — and capped at ``beam`` programs per level.
 
-Every enumerated derivation is then *finished* into an executable
-schedule: if no parallel map was chosen yet, the outermost high-level
-``map`` becomes ``mapGlb``; remaining high-level patterns are lowered
-sequentially (``map → mapSeq``, ``reduce → reduceSeq``).  A structural
-validity check rejects schedules the OpenCL thread hierarchy cannot
-express (nested ``mapGlb`` over the same dimension, ``mapLcl`` outside a
-work-group, parallel patterns under sequential ones, split factors that
+The rule menu includes the dimension-aware layer of
+:mod:`repro.rewrite.mapping`: lowering rules parametrized over thread
+dimensions, vectorization, and the 2-D tiling macro rule (``tile-2d``)
+that turns a two-deep map nest into the paper's ``mapWrg(1)/mapWrg(0)``
++ ``mapLcl`` + ``toLocal`` tiled schedule in a single derivation step.
+
+Every enumerated derivation is then *finished* into executable
+schedules: if no parallel map was chosen yet, each applicable mapping
+strategy (flat 1-D ``mapGlb``, and the 2-D ``mapGlb(1)/mapGlb(0)`` nest
+when the spine has two nested maps) produces one variant; remaining
+high-level patterns are lowered sequentially (``map → mapSeq``,
+``reduce → reduceSeq``).  A structural validity check rejects schedules
+the OpenCL thread hierarchy cannot express (nested parallel maps over
+the same dimension, ``mapLcl`` outside a work-group of the same
+dimension, parallel patterns under sequential ones, split factors that
 do not divide their input length).
 
 Pruning
 -------
 Surviving candidates are ranked by the *static* cost estimate
-(:func:`repro.opencl.cost.static_program_cost`) — no compilation or
-execution happens yet — and only the ``max_eval`` cheapest proceed.
+(:func:`repro.opencl.cost.static_program_cost`, parallelism-aware: a
+critical-path estimate against the candidate's own launch geometry) —
+no compilation or execution happens yet — and only the ``max_eval``
+cheapest proceed.
 
 Evaluation
 ----------
@@ -39,8 +49,11 @@ Survivors go through compile → simulate → verify on a
 ``concurrent.futures`` thread pool.  Execution results are verified
 *bitwise* against the reference interpreter running the original
 high-level program (our rules never reorder floating-point reductions,
-so a correct schedule reproduces the exact bits).  Ranking uses the
-measured-counter cost model (:func:`repro.opencl.cost.estimate_cycles`).
+so a correct schedule reproduces the exact bits).  Ranking divides the
+measured-counter cost (:func:`repro.opencl.cost.estimate_cycles`) by
+the launch's effective parallelism
+(:func:`repro.opencl.cost.estimate_runtime`) — wider schedules win when
+their per-thread work shrinks faster than their overheads grow.
 
 Cache key
 ---------
@@ -66,22 +79,31 @@ from repro.ir import patterns as pat
 from repro.ir.interp import apply_fun
 from repro.ir.structural import canonical
 from repro.ir.typecheck import infer_types
-from repro.ir.visit import clone_decl, post_order
+from repro.ir.visit import clone_decl, clone_expr, post_order
 from repro.arith import simplify
 from repro.compiler.codegen import CodeGenError, compile_kernel
 from repro.compiler.kernel import execute_kernel
 from repro.compiler.options import CompilerOptions
-from repro.opencl.cost import DEVICES, estimate_cycles, static_program_cost
+from repro.opencl.cost import (
+    DEVICES,
+    estimate_cycles,
+    runtime_from_cycles,
+    static_program_cost,
+)
 from repro.rewrite.autotune import interp_args
+from repro.rewrite.mapping import finish_mappings, tiling_rules
 from repro.rewrite.rules import (
     Rule,
     fusion_rules,
-    lowering_rules,
+    map_to_glb,
+    map_to_lcl,
     map_to_seq,
+    map_to_wrg,
     reduce_to_seq,
     simplification_rules,
     split_join,
     to_local_insertion,
+    vectorize_map,
 )
 from repro.rewrite.strategies import exhaustively, one_step_rewrites
 
@@ -98,6 +120,12 @@ class ExploreConfig:
     beam: int = 64
     max_eval: int = 16
     chunks: Sequence[int] = (4, 8, 16, 32, 64)
+    #: Thread dimensions the lowering rules may assign.
+    dims: Sequence[int] = (0, 1)
+    #: Tile shapes of the 2-D tiling macro rule (rows x columns).
+    tiles: Sequence[tuple] = ((4, 4), (8, 8))
+    #: Widths of the vectorization rule (empty disables it).
+    vector_widths: Sequence[int] = (4,)
     device: str = "nvidia"
     engine: Optional[str] = None
     workers: int = 4
@@ -107,11 +135,17 @@ class ExploreConfig:
     rtol: Optional[float] = None
 
     def rule_menu(self) -> list:
-        rules = list(lowering_rules())
+        # Macro rules first: the beam caps each BFS level, and one
+        # tiling application is worth more than many fine-grained steps.
+        rules = tiling_rules(self.tiles)
+        for dim in self.dims:
+            rules += [map_to_glb(dim), map_to_wrg(dim), map_to_lcl(dim)]
+        rules += [map_to_seq(), reduce_to_seq()]
         rules += fusion_rules()
         rules += simplification_rules()
         rules += [split_join(k) for k in self.chunks]
         rules += [to_local_insertion()]
+        rules += [vectorize_map(w) for w in self.vector_widths]
         rules += list(self.extra_rules)
         return rules
 
@@ -185,6 +219,9 @@ class ExploredCandidate:
     global_size: tuple
     static_cost: float
     cycles: Optional[float] = None
+    #: ``cycles`` divided by the launch's effective parallelism — the
+    #: quantity candidates are ranked by.
+    runtime: Optional[float] = None
     kernel_source: Optional[str] = None
 
     def describe_trace(self) -> str:
@@ -202,10 +239,13 @@ class ExplorationResult:
         return self.candidates[0]
 
     def describe(self, top: int = 5) -> str:
-        lines = ["exploration ranking (fewest estimated cycles first):"]
+        lines = ["exploration ranking (fastest estimated runtime first):"]
         for rank, cand in enumerate(self.candidates[:top], 1):
             lines.append(
-                f"  {rank}. {cand.label:<34} {cand.cycles:>12.0f} cycles"
+                f"  {rank}. {cand.label:<34} {cand.runtime:>12.1f} est "
+                f"({cand.cycles:.0f} cycles over "
+                f"{'x'.join(str(g) for g in cand.global_size)} items, "
+                f"local {'x'.join(str(l) for l in cand.local_size)})"
             )
             lines.append(f"     derivation: {cand.describe_trace()}")
         s = self.stats
@@ -221,27 +261,50 @@ class ExplorationResult:
 # schedule validity and geometry
 # ---------------------------------------------------------------------------
 
-def _finish(body: Expr) -> Optional[Expr]:
-    """Lower whatever the search left high-level into an executable form."""
-    from repro.rewrite.lowering import _replace_outermost_map
+def _finish_variants(body: Expr) -> list:
+    """Lower whatever the search left high-level into executable forms.
 
+    Returns ``(finished_body, strategy_label)`` pairs.  A derivation
+    that already chose parallel patterns finishes deterministically
+    (sequential lowering of the rest, label ``None``); one that did not
+    yields one variant per applicable mapping strategy — the flat 1-D
+    schedule and, for two-deep map nests, the 2-D ``mapGlb`` nest."""
     has_parallel = any(
         isinstance(e, FunCall) and isinstance(e.f, pat.ParallelMap)
         for e in post_order(body)
     )
-    if not has_parallel:
+    seq_rules = [map_to_seq(), reduce_to_seq()]
+    variants: list = []
+    if has_parallel:
+        mapped_bodies = [(body, None)]
+    else:
+        mapped_bodies = [
+            (mapped, f"finish:{name}") for mapped, name in finish_mappings(body)
+        ]
+        if not mapped_bodies:
+            # No high-level map on the spine: a sequential schedule.
+            mapped_bodies = [(body, None)]
+    for mapped, label in mapped_bodies:
         try:
-            body = _replace_outermost_map(body, lambda f: pat.MapGlb(f, 0))
-        except ValueError:
-            pass  # no high-level map on the spine: a sequential schedule
-    try:
-        return exhaustively([map_to_seq(), reduce_to_seq()], body)
-    except RuntimeError:
-        return None
+            variants.append((exhaustively(seq_rules, mapped), label))
+        except RuntimeError:
+            continue
+    return variants
+
+
+def _finish(body: Expr) -> Optional[Expr]:
+    """First finishing variant (the flat 1-D default); kept for tests
+    and callers that need one deterministic schedule."""
+    variants = _finish_variants(body)
+    return variants[0][0] if variants else None
 
 
 def _nesting_ok(body: Expr) -> bool:
-    """OpenCL thread-hierarchy wellformedness of the parallel patterns."""
+    """OpenCL thread-hierarchy wellformedness of the parallel patterns.
+
+    Walks the full data flow — including the bodies of beta-redex
+    lambdas, which the tiled schedules use to share ``toLocal`` staging
+    between compute maps."""
 
     def walk(e: Expr, active: frozenset, seq: bool) -> bool:
         if not isinstance(e, FunCall):
@@ -249,6 +312,11 @@ def _nesting_ok(body: Expr) -> bool:
         f = e.f
         while isinstance(f, pat.AddressSpaceWrapper):
             f = f.f
+        if isinstance(f, Lambda):
+            for a in e.args:
+                if not walk(a, active, seq):
+                    return False
+            return walk(f.body, active, seq)
         inner_active, inner_seq = active, seq
         if isinstance(f, pat.MapGlb):
             if seq or any(kind in ("wrg", "lcl") for kind, _ in active):
@@ -300,31 +368,44 @@ def _nesting_ok(body: Expr) -> bool:
 
 
 def _splits_divide(body: Expr, size_env: Mapping[str, int]) -> bool:
-    """Split factors must divide their (typed) input lengths exactly."""
+    """Split factors and vector widths must divide their (typed) input
+    lengths exactly (``asVector(4)`` over a one-element array would
+    silently compute garbage)."""
     for e in post_order(body):
-        if isinstance(e, FunCall) and isinstance(e.f, pat.Split):
+        if not isinstance(e, FunCall):
+            continue
+        if isinstance(e.f, pat.Split) or isinstance(e.f, pat.AsVector):
             arg_t = e.args[0].type
             if not isinstance(arg_t, ArrayType):
                 return False
             try:
                 n = int(simplify(arg_t.length).evaluate(dict(size_env)))
-                k = int(simplify(e.f.n).evaluate(dict(size_env)))
+                if isinstance(e.f, pat.Split):
+                    k = int(simplify(e.f.n).evaluate(dict(size_env)))
+                else:
+                    k = int(e.f.width)
             except Exception:
                 continue  # symbolic: let the type checker decide
-            if k <= 0 or n % k:
+            if k <= 0 or n <= 0 or n % k:
                 return False
     return True
 
 
 def _collect_parallel(body: Expr) -> list:
-    """Pre-order ``(kind, dim, trip-length-expr)`` of parallel map calls."""
+    """Pre-order ``(kind, dim, trip-length-expr, staging)`` of parallel
+    map calls.  ``staging`` marks maps that implement an address-space
+    copy (their function sits under ``toLocal``/``toGlobal``/
+    ``toPrivate``) — geometry selection prefers the trip counts of the
+    *compute* maps and lets staging loops stride."""
     found: list = []
 
-    def walk(e: Expr) -> None:
+    def walk(e: Expr, staging: bool) -> None:
         if not isinstance(e, FunCall):
             return
         f = e.f
+        inner_staging = staging
         while isinstance(f, pat.AddressSpaceWrapper):
+            inner_staging = True
             f = f.f
         if isinstance(f, pat.ParallelMap):
             kind = {pat.MapGlb: "glb", pat.MapWrg: "wrg", pat.MapLcl: "lcl"}[
@@ -332,24 +413,37 @@ def _collect_parallel(body: Expr) -> list:
             ]
             arg_t = e.args[0].type
             length = arg_t.length if isinstance(arg_t, ArrayType) else None
-            found.append((kind, f.dim, length))
+            found.append((kind, f.dim, length, inner_staging))
+        if isinstance(f, Lambda):
+            walk(f.body, staging)
         if isinstance(f, (pat.AbstractMap, pat.ReduceSeq, pat.Iterate)):
             g = f.f
             while isinstance(g, pat.AddressSpaceWrapper):
+                inner_staging = True
                 g = g.f
             if isinstance(g, Lambda):
-                walk(g.body)
+                walk(g.body, inner_staging)
         for a in e.args:
-            walk(a)
+            walk(a, staging)
 
-    walk(body)
+    walk(body, False)
     return found
+
+
+#: Per-dimension cap on the chosen local size.
+_MAX_LOCAL_PER_DIM = 64
 
 
 def _geometry(
     parallel: list, size_env: Mapping[str, int]
 ) -> Optional[tuple]:
-    """Launch geometry (local_size, global_size) for a valid schedule."""
+    """Launch geometry (local_size, global_size) for a valid schedule.
+
+    Dimension-aware: every thread dimension with a ``mapWrg`` gets its
+    group count from the first such map and its local size from the
+    first non-staging ``mapLcl`` of that dimension (staging copies
+    stride); pure ``mapGlb`` schedules keep the flat 1-D geometry of the
+    fixed menu on dimension 0 and gain per-dimension sizes beyond it."""
 
     def ev(length) -> Optional[int]:
         if length is None:
@@ -359,24 +453,112 @@ def _geometry(
         except Exception:
             return None
 
-    wrgs = [ev(t) for k, d, t in parallel if k == "wrg" and d == 0]
-    lcls = [ev(t) for k, d, t in parallel if k == "lcl" and d == 0]
-    glbs = [ev(t) for k, d, t in parallel if k == "glb" and d == 0]
+    def first_per_dim(kind: str, include_staging: bool = True) -> dict:
+        out: dict = {}
+        for k, d, t, staging in parallel:
+            if k == kind and d not in out and (include_staging or not staging):
+                out[d] = ev(t)
+        return out
 
-    if wrgs:
-        groups, chunk = wrgs[0], (lcls[0] if lcls else 1)
-        if groups is None or chunk is None:
-            return None
-        local0 = min(chunk, 64)
-        return (local0, 1, 1), (groups * local0, 1, 1)
-    if glbs:
-        n = glbs[0]
-        if n is None:
+    wrg = first_per_dim("wrg")
+    if wrg:
+        lcl = first_per_dim("lcl", include_staging=False)
+        lcl_any = first_per_dim("lcl")
+        local = [1, 1, 1]
+        glob = [1, 1, 1]
+        for d in (0, 1, 2):
+            groups = wrg.get(d)
+            trip = lcl.get(d, lcl_any.get(d))
+            if groups is None and d in wrg:
+                return None
+            if trip is None and d in lcl_any:
+                return None
+            local[d] = min(trip, _MAX_LOCAL_PER_DIM) if trip else 1
+            glob[d] = (groups if groups else 1) * local[d]
+        return tuple(local), tuple(glob)
+
+    glb = first_per_dim("glb")
+    if glb:
+        if any(n is None for n in glb.values()):
             return None
         from repro.rewrite.autotune import flat_global_geometry
 
-        return flat_global_geometry(n)
+        local = [1, 1, 1]
+        glob = [1, 1, 1]
+        if len(glb) == 1:
+            # A single mapGlb dimension gets the fixed menu's flat
+            # geometry whatever the dimension is — an identical flat
+            # schedule must rank identically on dim 0 and dim 1 (and
+            # share tuning-cache keys with the menu on dim 0).
+            (d, n), = glb.items()
+            (l0, _, _), (g0, _, _) = flat_global_geometry(n)
+            local[d], glob[d] = l0, g0
+            return tuple(local), tuple(glob)
+        import math
+
+        # Multi-dimensional global schedules split the flat path's
+        # ~1024-item launch budget across dimensions (32 per dim);
+        # generated kernels stride when the NDRange is smaller than
+        # the data, exactly like the flat 1-D case.
+        per_dim_cap = 32
+        for d, n in glb.items():
+            local[d] = math.gcd(n, 16) or 1
+            glob[d] = n if n <= per_dim_cap else per_dim_cap
+        return tuple(local), tuple(glob)
     return (1, 1, 1), (1, 1, 1)
+
+
+def specialize_sizes(fun: Lambda, size_env: Mapping[str, int]) -> Lambda:
+    """Clone ``fun`` with every size variable — in parameter types and in
+    pattern payloads (split factors, iterate counts, gather/scatter index
+    functions) — replaced by its concrete value.
+
+    The low-level benchmark programs are written this way by hand (gemv
+    fixes ``K`` \"so the local staging buffers have compile-time sizes\");
+    derived schedules that stage ``toLocal`` tiles need the same
+    specialization, because OpenCL local arrays must have static sizes.
+    Kernel cache keys stay on the *symbolic* program — the size
+    environment is part of the key already."""
+    from repro.arith import Cst, Var
+    from repro.arith.expr import substitute
+    from repro.types import ArrayType
+    from repro.ir.visit import transform_calls
+
+    env = {Var(k): Cst(int(v)) for k, v in size_env.items()}
+
+    def subst_arith(x):
+        return simplify(substitute(x, env))
+
+    def subst_type(t):
+        if isinstance(t, ArrayType):
+            return ArrayType(subst_type(t.elem), subst_arith(t.length))
+        return t
+
+    def subst_idx_fun(fn: pat.IndexFun) -> pat.IndexFun:
+        return pat.IndexFun(
+            fn.name, lambda i, n, _f=fn.fn: substitute(_f(i, n), env)
+        )
+
+    def visit(call: FunCall) -> Optional[Expr]:
+        f = call.f
+        if isinstance(f, pat.Split):
+            return FunCall(pat.Split(subst_arith(f.n)), list(call.args))
+        if isinstance(f, pat.Iterate):
+            return FunCall(pat.Iterate(subst_arith(f.n), f.f), list(call.args))
+        if isinstance(f, (pat.Gather, pat.Scatter)):
+            return FunCall(
+                type(f)(subst_idx_fun(f.idx_fun)), list(call.args)
+            )
+        if isinstance(f, pat.Slide):
+            return FunCall(
+                pat.Slide(subst_arith(f.size), subst_arith(f.step)),
+                list(call.args),
+            )
+        return None
+
+    fresh = [Param(subst_type(p.type), p.name) for p in fun.params]
+    body = clone_expr(fun.body, dict(zip(fun.params, fresh)))
+    return Lambda(fresh, transform_calls(body, visit))
 
 
 # ---------------------------------------------------------------------------
@@ -445,54 +627,57 @@ def explore_program(
     # -- finish, validate, dedup ----------------------------------------
     finished: dict = {}
     for body, trace in derivations:
-        fin = _finish(body)
-        if fin is None:
-            stats.invalid += 1
-            continue
-        program = clone_decl(Lambda(list(high_level.params), fin))
-        assert isinstance(program, Lambda)
-        key = canonical(program)
-        if key in finished:
-            # Distinct derivations collapsing to one schedule after the
-            # finishing lowering; kept separate from the enumeration-time
-            # dedup_hits so dedup_hit_rate stays a fraction of enumerated.
-            stats.finish_dedup_hits += 1
-            continue
-        typed = clone_decl(program)
-        assert isinstance(typed, Lambda)
-        try:
-            infer_types(typed.body)
-        except Exception:
-            stats.invalid += 1
-            continue
-        if not _nesting_ok(typed.body) or not _splits_divide(typed.body, size_env):
-            stats.invalid += 1
-            continue
-        parallel = _collect_parallel(typed.body)
-        if not parallel:
-            # An all-sequential schedule "wins" under the total-work cost
-            # model (no loop strides, no barriers) but is never a useful
-            # GPU schedule; the search only ranks parallel ones.
-            stats.invalid += 1
-            continue
-        geometry = _geometry(parallel, size_env)
-        if geometry is None:
-            stats.invalid += 1
-            continue
-        try:
-            static_cost = static_program_cost(program, size_env, profile)
-        except Exception:
-            stats.invalid += 1
-            continue
-        local_size, global_size = geometry
-        finished[key] = ExploredCandidate(
-            label="",
-            program=program,
-            trace=trace,
-            local_size=local_size,
-            global_size=global_size,
-            static_cost=static_cost,
-        )
+        for fin, finish_label in _finish_variants(body):
+            full_trace = trace + ((finish_label,) if finish_label else ())
+            program = clone_decl(Lambda(list(high_level.params), fin))
+            assert isinstance(program, Lambda)
+            key = canonical(program)
+            if key in finished:
+                # Distinct derivations collapsing to one schedule after the
+                # finishing lowering; kept separate from the enumeration-time
+                # dedup_hits so dedup_hit_rate stays a fraction of enumerated.
+                stats.finish_dedup_hits += 1
+                continue
+            typed = clone_decl(program)
+            assert isinstance(typed, Lambda)
+            try:
+                infer_types(typed.body)
+            except Exception:
+                stats.invalid += 1
+                continue
+            if not _nesting_ok(typed.body) or not _splits_divide(
+                typed.body, size_env
+            ):
+                stats.invalid += 1
+                continue
+            parallel = _collect_parallel(typed.body)
+            if not parallel:
+                # An all-sequential schedule "wins" under the total-work
+                # cost model (no loop strides, no barriers) but is never a
+                # useful GPU schedule; the search only ranks parallel ones.
+                stats.invalid += 1
+                continue
+            geometry = _geometry(parallel, size_env)
+            if geometry is None:
+                stats.invalid += 1
+                continue
+            local_size, global_size = geometry
+            try:
+                static_cost = static_program_cost(
+                    program, size_env, profile,
+                    local_size=local_size, global_size=global_size,
+                )
+            except Exception:
+                stats.invalid += 1
+                continue
+            finished[key] = ExploredCandidate(
+                label="",
+                program=program,
+                trace=full_trace,
+                local_size=local_size,
+                global_size=global_size,
+                static_cost=static_cost,
+            )
     stats.finished = len(finished)
 
     # -- static prune ----------------------------------------------------
@@ -527,8 +712,10 @@ def explore_program(
             kernel = cache.get_kernel(key)
         if kernel is None:
             try:
-                kernel = compile_kernel(cand.program, options)
-            except (CodeGenError, pat.LiftTypeError) as exc:
+                kernel = compile_kernel(
+                    specialize_sizes(cand.program, size_env), options
+                )
+            except (CodeGenError, pat.LiftTypeError, ValueError) as exc:
                 return None, events, f"compile: {exc}"
             events["compiled"] = 1
             if cache is not None:
@@ -567,6 +754,11 @@ def explore_program(
             if cache is not None:
                 cache.put_cycles(ck, cycles)
         cand.cycles = cycles
+        # Total work is what the cache stores (it is engine- and
+        # geometry-keyed); the parallelism division is pure arithmetic.
+        cand.runtime = runtime_from_cycles(
+            cycles, profile, cand.global_size, cand.local_size
+        )
         cand.kernel_source = kernel.source
         return cand, events, None
 
@@ -599,5 +791,5 @@ def explore_program(
         stats.cycle_cache_hits = after.cycle_hits - cache_before.cycle_hits
         stats.cycle_cache_misses = after.cycle_misses - cache_before.cycle_misses
 
-    evaluated.sort(key=lambda c: (c.cycles, len(c.trace), c.trace))
+    evaluated.sort(key=lambda c: (c.runtime, len(c.trace), c.trace))
     return ExplorationResult(candidates=evaluated, stats=stats)

@@ -2,109 +2,49 @@
 
 The paper's prior work searches the rewrite space automatically; the
 evaluation here (like the paper's artifact) uses fixed, per-benchmark
-lowering decisions.  Two reusable recipes cover the common shapes:
+lowering decisions.  Since the mapping layer landed these are thin
+wrappers over :mod:`repro.rewrite.mapping` strategies:
 
 * :func:`lower_to_global` — outermost ``map`` becomes ``mapGlb``, every
   nested ``map`` becomes ``mapSeq``, every ``reduce`` becomes
-  ``reduceSeq``;
+  ``reduceSeq`` (:func:`repro.rewrite.mapping.global_1d`);
 * :func:`lower_to_work_groups` — the outermost ``map`` is tiled with
-  split-join and mapped onto ``mapWrg``/``mapLcl``.
+  split-join and mapped onto ``mapWrg``/``mapLcl``
+  (:func:`repro.rewrite.mapping.work_group_1d`).
+
+Dimension-aware and 2-D tiled lowerings live in the mapping module
+itself; the explorer reaches them through its rule menu and finishing
+step.
 """
 
 from __future__ import annotations
 
 from repro.arith import ArithExpr
-from repro.ir.nodes import Expr, FunCall, Lambda, Param
-from repro.ir import patterns as pat
-from repro.ir.visit import clone_expr, transform_calls
-from repro.rewrite.rules import map_to_seq, reduce_to_seq, split_join
-from repro.rewrite.strategies import apply_at, apply_everywhere, exhaustively
+from repro.ir.nodes import Expr, Lambda
+from repro.ir.visit import clone_expr
+from repro.rewrite.mapping import global_1d, work_group_1d
+from repro.rewrite.rules import map_to_seq, reduce_to_seq
+from repro.rewrite.strategies import exhaustively
 
 
-def _lower_inner_sequential(expr: Expr) -> Expr:
+def lower_inner_sequential(expr: Expr) -> Expr:
     """Lower every remaining high-level pattern to its sequential form."""
     return exhaustively([map_to_seq(), reduce_to_seq()], expr)
 
 
 def lower_to_global(fun: Lambda, dim: int = 0) -> Lambda:
     """Outermost map -> mapGlb, everything inside sequential."""
-    outer_done = [False]
-
-    def lower_outer(call: FunCall):
-        # transform_calls is bottom-up; the *last* Map visited on the
-        # spine is the outermost, so lower outer maps on a second pass.
-        return None
-
-    body = clone_expr(fun.body, dict(zip(fun.params, fun.params)))
-    # Find the outermost high-level Map on the spine and make it global.
-    body = _replace_outermost_map(body, lambda f: pat.MapGlb(f, dim))
-    body = _lower_inner_sequential(body)
-    return Lambda(list(fun.params), body)
+    return _apply_strategy(fun, global_1d(dim))
 
 
 def lower_to_work_groups(fun: Lambda, chunk: ArithExpr | int, dim: int = 0) -> Lambda:
     """Tile the outermost map: split-join + mapWrg(mapLcl(...))."""
+    return _apply_strategy(fun, work_group_1d(chunk, dim))
+
+
+def _apply_strategy(fun: Lambda, strategy) -> Lambda:
     body = clone_expr(fun.body, dict(zip(fun.params, fun.params)))
-    body = _split_join_outermost(body, chunk)
-    body = _replace_outermost_map(body, lambda f: pat.MapWrg(f, dim))
-    body = _replace_outermost_map(body, lambda f: pat.MapLcl(f, dim))
-    body = _lower_inner_sequential(body)
-    return Lambda(list(fun.params), body)
-
-
-def _replace_outermost_map(expr: Expr, build) -> Expr:
-    """Replace the outermost high-level Map reachable from the root —
-    walking the argument spine and into nested map bodies — by
-    ``build(f)``."""
-    replaced = [False]
-
-    def go(e: Expr) -> Expr:
-        if replaced[0] or not isinstance(e, FunCall):
-            return e
-        if type(e.f) is pat.Map:
-            replaced[0] = True
-            return FunCall(build(e.f.f), list(e.args))
-        if isinstance(e.f, pat.AbstractMap) and isinstance(e.f.f, Lambda):
-            lam = e.f.f
-            new_body = go(lam.body)
-            if replaced[0]:
-                rebuilt = _rebuild_map(e.f, Lambda(list(lam.params), new_body))
-                return FunCall(rebuilt, list(e.args))
-        # Walk down the spine: only the first argument chain.
-        if e.args:
-            new_args = [go(e.args[0])] + list(e.args[1:])
-        else:
-            new_args = []
-        return FunCall(e.f, new_args)
-
-    result = go(expr)
-    if not replaced[0]:
+    mapped = strategy.apply(body)
+    if mapped is None:
         raise ValueError("no high-level map found on the program spine")
-    return result
-
-
-def _rebuild_map(m: pat.AbstractMap, f: Lambda) -> pat.AbstractMap:
-    if isinstance(m, pat.ParallelMap):
-        return type(m)(f, m.dim)
-    return type(m)(f)
-
-
-def _split_join_outermost(expr: Expr, chunk: ArithExpr | int) -> Expr:
-    rule = split_join(chunk)
-    replaced = [False]
-
-    def go(e: Expr) -> Expr:
-        if replaced[0] or not isinstance(e, FunCall):
-            return e
-        if type(e.f) is pat.Map:
-            replacement = rule.apply(e)
-            assert replacement is not None
-            replaced[0] = True
-            return replacement
-        new_args = [go(e.args[0])] + list(e.args[1:]) if e.args else []
-        return FunCall(e.f, new_args)
-
-    result = go(expr)
-    if not replaced[0]:
-        raise ValueError("no high-level map found on the program spine")
-    return result
+    return Lambda(list(fun.params), lower_inner_sequential(mapped))

@@ -14,6 +14,11 @@ The rule set covers what the paper's evaluation relies on:
   vectorization of maps of scalar user functions;
 * *simplification* — cancelling adjacent ``split``/``join`` and
   ``asVector``/``asScalar`` pairs.
+
+Dimension-aware *macro* rules (the 2-D tiling step ``tile-2d`` that
+rewrites a whole map nest onto the ``mapWrg``/``mapLcl`` grid at once)
+live in :mod:`repro.rewrite.mapping`; the explorer merges both sets into
+one menu.
 """
 
 from __future__ import annotations
@@ -199,11 +204,27 @@ def to_local_insertion() -> Rule:
 
 def vectorize_map(width: int) -> Rule:
     """map(uf)  ->  asScalar o map(vectorize(uf)) o asVector(width)
-    for unary scalar user functions (paper section 3.2)."""
+    for unary scalar user functions (paper section 3.2).
+
+    When the argument carries a type annotation, the rule refuses inputs
+    whose (concrete) length the width does not divide — ``asVector(4)``
+    over a one-element array would reinterpret garbage.  Untyped graphs
+    (the explorer enumerates those) are accepted here and rejected by
+    the explorer's shape-validity filter after type inference.
+    """
 
     def apply(call: FunCall) -> Optional[Expr]:
         if type(call.f) is not pat.Map:
             return None
+        from repro.types import ArrayType
+
+        arg_t = call.args[0].type
+        if isinstance(arg_t, ArrayType):
+            from repro.arith import simplify
+
+            length = simplify(arg_t.length).try_int()
+            if length is not None and (length <= 0 or length % width):
+                return None
         lam = _unwrap(call.f.f)
         if not isinstance(lam, Lambda) or len(lam.params) != 1:
             return None

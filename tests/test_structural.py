@@ -63,6 +63,22 @@ class TestAlphaEquivalence:
         b = join()(split(8)(x))
         assert canonical(a) != canonical(b)
 
+    def test_parallel_map_dimension_is_part_of_identity(self):
+        """``mapGlb(f, 0)`` and ``mapGlb(f, 1)`` are different schedules;
+        the explorer's dedup and the on-disk tuning cache must never
+        collapse them (likewise for mapWrg/mapLcl)."""
+        from repro.ir import patterns as pat
+
+        n = Var("N")
+        for cls in (pat.MapGlb, pat.MapWrg, pat.MapLcl):
+            x = Param(ArrayType(FLOAT, n), "x")
+            dim0 = Lambda([x], FunCall(cls(_plus_one(), 0), [x]))
+            dim1 = Lambda([x], FunCall(cls(_plus_one(), 1), [x]))
+            assert not structural_eq(dim0, dim1)
+            assert structural_hash(dim0) != structural_hash(dim1)
+            # ...while equal dims stay alpha-equivalent across clones.
+            assert structural_eq(dim0, clone_decl(dim0))
+
 
 class TestCloneStability:
     def test_hash_stable_across_clone_decl(self):
