@@ -71,7 +71,11 @@ def test_explorer_derives_2d_tiled_mm(tmp_path):
     assert any("toLocal" in step for step in entry["explorer_best_trace"])
     assert entry["winner_local_size"][1] > 1  # a genuinely 2-D launch
     assert entry["winner_static_rank"] == 0
-    assert entry["best_vs_menu"] < 1.0
+    # The fixed menu reuses the tile-2d strategy for square map nests
+    # since the backend-subsystem PR, so parity with a *tiled* menu
+    # best is the expected outcome (the explorer must never lose to it).
+    assert entry["best_vs_menu"] <= 1.0
+    assert entry["menu_best_label"].startswith("tile-2d")
 
 
 def main(out_path: str = None) -> None:
@@ -111,9 +115,10 @@ def main(out_path: str = None) -> None:
         "description": (
             "Rewrite-space exploration baseline: candidates enumerated, "
             "dedup/cache hit-rates and best-vs-menu estimated runtime "
-            "(parallelism-aware) per benchmark; last refreshed on the PR "
-            "that added dimension-aware mapping strategies (the explorer "
-            "now derives the 2-D tiled mm with toLocal staging)."
+            "(parallelism-aware) per benchmark; last refreshed on the "
+            "backend-subsystem PR (the fixed autotune menu now derives "
+            "the 2-D tiled mm too, so mm best-vs-menu parity is expected; "
+            "the derivation itself is gated via best_trace)."
         ),
         "config": cold["config"],
         "cold_total_seconds": round(cold_seconds, 3),

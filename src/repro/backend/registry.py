@@ -1,0 +1,184 @@
+"""Backend registry: names -> backends -> fallback chains.
+
+Two name spaces live here:
+
+* **backend names** — concrete :class:`~repro.backend.base.Backend`
+  implementations (``scalar``, ``interp``, ``compiled``, ``fused``),
+  registered with :func:`register_backend`;
+* **engine names** — what ``launch(engine=...)`` / ``REPRO_SIM_ENGINE``
+  accept.  Every engine name resolves to an ordered *fallback chain* of
+  backends plus a strictness flag, registered with
+  :func:`register_engine`.  Single-backend strict engines (``compiled``)
+  and multi-tier preferences (``auto``, ``fused``) are the same
+  mechanism; the historical tier names stay as chain aliases.
+
+Chain semantics (:meth:`ResolvedChain.execute`):
+
+1. Backends are tried in order.  A static refusal
+   (:class:`CompileUnsupported` from ``plan`` — or from ``run`` before
+   any buffer was touched, e.g. a launch-shape cap) falls through to
+   the next backend.
+2. A *dynamic* refusal (``run`` returns ``False`` after rolling the
+   buffers back) skips every remaining backend of the same
+   ``dynamic_class`` — a same-class backend would detect the same
+   condition — and continues with the next class.
+3. A strict chain that runs out of backends raises
+   :class:`~repro.opencl.simt.VectorizationError` (the historical
+   behaviour of forcing ``engine="vector"`` onto an unsupported
+   kernel); graceful chains end in ``scalar``, which always succeeds.
+
+``REPRO_SIM_ENGINE`` expresses a *preferred default*, not a hard
+requirement: resolving a strict engine name from the environment
+(:func:`resolve` with ``prefer=True``) extends the chain with the
+remaining graceful tiers so a whole test-suite run can be steered
+through one backend without breaking kernels only the scalar reference
+supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.backend.base import Backend, CompileUnsupported, ExecutionRequest
+
+__all__ = [
+    "EngineSpec",
+    "ResolvedChain",
+    "register_backend",
+    "register_engine",
+    "get_backend",
+    "backend_names",
+    "engine_names",
+    "resolve",
+]
+
+_BACKENDS: Dict[str, Backend] = {}
+_ENGINES: Dict[str, "EngineSpec"] = {}
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One engine name: an ordered backend chain + strictness."""
+
+    name: str
+    members: Tuple[str, ...]
+    strict: bool = False
+    description: str = ""
+
+
+def register_backend(backend: Backend, replace: bool = False) -> Backend:
+    """Add a backend under ``backend.name``; returns it (decorator-
+    friendly).  Re-registering an existing name requires ``replace``."""
+    name = backend.name
+    if not name:
+        raise ValueError("backend has no name")
+    if name in _BACKENDS and not replace:
+        raise ValueError(f"backend {name!r} is already registered")
+    _BACKENDS[name] = backend
+    return backend
+
+
+def register_engine(
+    name: str,
+    members: Sequence[str],
+    strict: bool = False,
+    description: str = "",
+    replace: bool = False,
+) -> EngineSpec:
+    """Register an engine name resolving to a backend fallback chain."""
+    if name in _ENGINES and not replace:
+        raise ValueError(f"engine {name!r} is already registered")
+    for member in members:
+        if member not in _BACKENDS:
+            raise ValueError(
+                f"engine {name!r} references unknown backend {member!r}"
+            )
+    spec = EngineSpec(name, tuple(members), strict, description)
+    _ENGINES[name] = spec
+    return spec
+
+
+def get_backend(name: str) -> Backend:
+    """Look a backend up by name; raises ``ValueError`` listing the
+    registered names for unknown ones."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS)) or "<none>"
+        raise ValueError(
+            f"unknown execution backend {name!r} (registered: {known})"
+        ) from None
+
+
+def backend_names() -> tuple:
+    return tuple(sorted(_BACKENDS))
+
+
+def engine_names() -> tuple:
+    """Every name ``launch(engine=...)``/``REPRO_SIM_ENGINE`` accepts."""
+    return tuple(sorted(_ENGINES))
+
+
+@dataclass
+class ResolvedChain:
+    """An engine name resolved to live backend instances."""
+
+    name: str
+    members: Tuple[Backend, ...]
+    strict: bool
+
+    def execute(self, request: ExecutionRequest) -> None:
+        from repro.opencl.simt import VectorizationError
+
+        refusals = []
+        skip_classes: set = set()
+        for backend in self.members:
+            if backend.dynamic_class in skip_classes:
+                continue
+            try:
+                plan = backend.plan(request.parsed, request.kernel)
+            except CompileUnsupported as exc:
+                refusals.append(f"{backend.name}: {exc}")
+                continue
+            try:
+                done = backend.run(plan, request)
+            except CompileUnsupported as exc:
+                # Launch-shape refusal before any buffer was touched.
+                refusals.append(f"{backend.name}: {exc}")
+                continue
+            if done:
+                return
+            refusals.append(f"{backend.name}: dynamic bail-out")
+            skip_classes.add(backend.dynamic_class)
+        detail = "; ".join(refusals) or "empty backend chain"
+        kind = "strict engine" if self.strict else "engine"
+        raise VectorizationError(
+            f"kernel {request.kernel.name!r} not supported by {kind} "
+            f"{self.name!r} ({detail})"
+        )
+
+
+def resolve(name: str, prefer: bool = False) -> ResolvedChain:
+    """Resolve an engine name to its backend chain.
+
+    ``prefer`` marks the name as a *preference* (the ``REPRO_SIM_ENGINE``
+    path): strict chains gain the remaining graceful tiers so the run
+    never fails on kernels the preferred backend cannot execute.
+    """
+    spec = _ENGINES.get(name)
+    if spec is None:
+        known = ", ".join(engine_names()) or "<none>"
+        raise ValueError(
+            f"unknown execution engine {name!r}: valid engines are {known}"
+        )
+    members = list(spec.members)
+    strict = spec.strict
+    if prefer and strict:
+        for tail in ("interp", "scalar"):
+            if tail in _BACKENDS and tail not in members:
+                members.append(tail)
+        strict = False
+    return ResolvedChain(
+        spec.name, tuple(get_backend(m) for m in members), strict
+    )

@@ -52,7 +52,18 @@ def main(argv=None) -> int:
         "--no-cache", action="store_true",
         help="run figure8 without the tuning cache",
     )
+    parser.add_argument(
+        "--engine", default=None,
+        help="execution backend for figure8/explore launches (any name "
+             "registered in repro.backend: auto, fused, compiled, interp, "
+             "scalar, ...)",
+    )
     args = parser.parse_args(argv)
+
+    if args.engine is not None:
+        from repro.backend import resolve
+
+        resolve(args.engine)  # fail fast with the list of valid names
 
     if args.experiment in ("table1", "all"):
         from repro.benchsuite.table1 import format_table1, run_table1
@@ -74,7 +85,10 @@ def main(argv=None) -> int:
             from repro.cache import TuningCache
 
             cache = TuningCache(args.cache_dir)
-        cells = run_figure8(args.benchmarks, sizes=tuple(args.sizes), cache=cache)
+        cells = run_figure8(
+            args.benchmarks, sizes=tuple(args.sizes), cache=cache,
+            engine=args.engine,
+        )
         print(format_figure8(cells))
         if cache is not None:
             s = cache.stats
@@ -93,6 +107,7 @@ def main(argv=None) -> int:
             size=args.sizes[0],
             cache_dir=args.cache_dir,
             device=args.device,
+            engine=args.engine,
         )
         print(format_explore(data))
 

@@ -46,7 +46,8 @@ class Figure8Cell:
 
 
 def measure_benchmark(
-    bench: Benchmark, size: str, seed: int = 7, cache=None
+    bench: Benchmark, size: str, seed: int = 7, cache=None,
+    engine: Optional[str] = None,
 ) -> list:
     """All Figure 8 cells for one benchmark at one input size.
 
@@ -55,12 +56,17 @@ def measure_benchmark(
     profiles.  With a :class:`repro.cache.TuningCache`, reference and
     generated runs are served from content-addressed run entries — a
     warm rerun performs zero compilations and zero simulations (the
-    oracle checks still run against the cached outputs).
+    oracle checks still run against the cached outputs).  ``engine``
+    names the execution backend for every launch (any name of
+    :func:`repro.backend.engine_names`; cache run entries are keyed per
+    engine).
     """
     inputs, size_env = bench.inputs_for(size, seed)
     expected = bench.oracle(inputs, size_env)
 
-    ref_out, ref_counters = bench.run_reference(inputs, size_env, cache=cache)
+    ref_out, ref_counters = bench.run_reference(
+        inputs, size_env, cache=cache, engine=engine
+    )
     np.testing.assert_allclose(
         ref_out, expected, rtol=bench.rtol, atol=1e-7,
         err_msg=f"{bench.name}: reference kernel produced wrong results",
@@ -69,7 +75,8 @@ def measure_benchmark(
     cells: list[Figure8Cell] = []
     for level_name, factory in OPTIMIZATION_LEVELS.items():
         gen_out, gen_counters = bench.run_generated(
-            inputs, size_env, options_factory=factory, cache=cache
+            inputs, size_env, options_factory=factory, cache=cache,
+            engine=engine,
         )
         np.testing.assert_allclose(
             gen_out, expected, rtol=bench.rtol, atol=1e-7,
@@ -99,13 +106,16 @@ def run_figure8(
     sizes: Iterable[str] = ("small", "large"),
     seed: int = 7,
     cache=None,
+    engine: Optional[str] = None,
 ) -> list:
     names = list(benchmarks) if benchmarks is not None else list(ALL_BENCHMARKS)
     cells: list[Figure8Cell] = []
     for name in names:
         bench = get_benchmark(name)
         for size in sizes:
-            cells.extend(measure_benchmark(bench, size, seed, cache=cache))
+            cells.extend(
+                measure_benchmark(bench, size, seed, cache=cache, engine=engine)
+            )
     return cells
 
 

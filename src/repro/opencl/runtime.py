@@ -5,9 +5,12 @@ OpenCL, so any order is conforming); work-items within a group run in
 lock-step between barriers via the generator mechanism of
 :mod:`repro.opencl.interp`.
 
-Three execution tiers back :func:`launch` (see ``ENGINES.md`` in this
-package):
+Execution is delegated to the pluggable backend subsystem of
+:mod:`repro.backend` (see ``ENGINES.md`` in this package).  Four
+backends are registered out of the box:
 
+* ``"fused"`` — whole-grid fused numpy array programs
+  (:mod:`repro.backend.fused`);
 * ``"compiled"`` — the lane-batched SIMT engine driven by the closure
   pipeline of :mod:`repro.opencl.simt_compile` (kernel AST lowered once
   per program);
@@ -15,10 +18,13 @@ package):
   block (:mod:`repro.opencl.simt`);
 * ``"scalar"`` — the per-work-item reference interpreter.
 
-``"vector"`` selects the lane-batched engine, compiled when possible,
-interpretive otherwise; the default ``"auto"`` additionally falls back
-to the scalar path for non-vectorizable kernels (including mid-launch,
-with buffer rollback).  ``REPRO_SIM_ENGINE`` overrides the default.
+Engine names resolve through :mod:`repro.backend.registry` to fallback
+chains: ``"auto"`` (the default) runs compiled -> interp -> scalar,
+``"fused"`` prepends the whole-grid backend to that chain, and
+``"vector"`` keeps its historical strict lane-batched meaning.
+``REPRO_SIM_ENGINE`` overrides the default with a *preference* — a
+strict name set through the environment still falls back gracefully so
+unsupported kernels keep running on the reference path.
 """
 
 from __future__ import annotations
@@ -26,22 +32,13 @@ from __future__ import annotations
 import functools
 import os
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional
 
 import numpy as np
 
 from repro.compiler import cast as c
 from repro.opencl.cparser import ParsedProgram, parse
-from repro.opencl import simt, simt_compile
-from repro.opencl.interp import (
-    BarrierDivergence,
-    Counters,
-    ExecError,
-    LaunchContext,
-    Pointer,
-    WorkItem,
-    _Return,
-)
+from repro.opencl.interp import Counters, Pointer
 
 
 @dataclass
@@ -125,19 +122,22 @@ def _local_decls_of(parsed: ParsedProgram, kernel: c.CFunctionDef) -> list:
     return decls
 
 
-#: Engine names accepted by :func:`launch` / ``REPRO_SIM_ENGINE``:
-#: ``auto`` (compiled -> interpretive vector -> scalar), ``vector``
-#: (lane-batched, compiled when possible, strict), ``compiled`` (closure
-#: pipeline only, strict), ``interp`` (interpretive vector walk,
-#: strict), ``scalar`` (reference interpreter).
-_ENGINE_NAMES = ("auto", "vector", "compiled", "interp", "scalar")
+def _resolve_engine(engine: Optional[str]):
+    """Resolve an engine request to a backend chain.
 
+    An explicit ``engine=`` argument keeps its exact (possibly strict)
+    registry semantics; a name from ``REPRO_SIM_ENGINE`` is treated as
+    a preference and falls back gracefully.  Unknown names report the
+    valid ones from the registry.
+    """
+    from repro.backend import registry
 
-def _resolve_engine(engine: Optional[str]) -> str:
-    engine = engine or os.environ.get("REPRO_SIM_ENGINE") or "auto"
-    if engine not in _ENGINE_NAMES:
-        raise ValueError(f"unknown execution engine {engine!r}")
-    return engine
+    if engine is not None:
+        return registry.resolve(engine)
+    env = os.environ.get("REPRO_SIM_ENGINE")
+    if env:
+        return registry.resolve(env, prefer=True)
+    return registry.resolve("auto")
 
 
 def launch(
@@ -150,6 +150,8 @@ def launch(
     engine: Optional[str] = None,
 ) -> Counters:
     """Execute a kernel over the NDRange; returns the counters."""
+    from repro.backend.base import ExecutionRequest
+
     kernel = program.kernel(kernel_name)
     gsize = _normalize_size(global_size)
     lsize = _normalize_size(local_size)
@@ -160,7 +162,6 @@ def launch(
             )
 
     counters = counters if counters is not None else Counters()
-    ctx = LaunchContext(program.parsed, gsize, lsize, counters)
 
     base_env: dict[str, Any] = {}
     for p in kernel.params:
@@ -177,92 +178,16 @@ def launch(
         else:
             base_env[p.name] = value
 
-    local_decls = _local_decls_of(program.parsed, kernel)
-
-    resolved = _resolve_engine(engine)
-    if resolved != "scalar":
-        reason = simt.analyze_kernel(program.parsed, kernel)
-        if reason is None:
-            pipeline = None
-            if resolved != "interp":
-                pipeline = simt_compile.get_pipeline(program.parsed, kernel)
-            if resolved == "compiled" and pipeline is None:
-                raise simt.VectorizationError(
-                    f"kernel {kernel.name!r} has no closure pipeline"
-                )
-            done = simt.try_launch(
-                program.parsed, kernel, gsize, lsize, base_env, local_decls,
-                counters,
-                strict=(resolved in ("vector", "compiled", "interp")),
-                pipeline=pipeline,
-            )
-            if done:
-                return counters
-        elif resolved != "auto":
-            raise simt.VectorizationError(
-                f"kernel {kernel.name!r} is not vectorizable: {reason}"
-            )
-
-    num_groups = tuple(g // l for g, l in zip(gsize, lsize))
-    items_per_group = lsize[0] * lsize[1] * lsize[2]
-
-    for gz in range(num_groups[2]):
-        for gy in range(num_groups[1]):
-            for gx in range(num_groups[0]):
-                group = (gx, gy, gz)
-                group_env = dict(base_env)
-                for decl in local_decls:
-                    dtype = (
-                        np.int64
-                        if decl.type_name in ("int", "uint", "long")
-                        else np.float64
-                    )
-                    group_env[decl.name] = Pointer(
-                        np.zeros(decl.array_size, dtype=dtype), 0, "local"
-                    )
-                _run_group(ctx, kernel, group_env, group, lsize)
-                counters.work_items += items_per_group
+    chain = _resolve_engine(engine)
+    chain.execute(
+        ExecutionRequest(
+            parsed=program.parsed,
+            kernel=kernel,
+            gsize=gsize,
+            lsize=lsize,
+            base_env=base_env,
+            local_decls=_local_decls_of(program.parsed, kernel),
+            counters=counters,
+        )
+    )
     return counters
-
-
-def _run_group(
-    ctx: LaunchContext,
-    kernel: c.CFunctionDef,
-    group_env: dict,
-    group: tuple,
-    lsize: tuple,
-) -> None:
-    generators = []
-    for lz in range(lsize[2]):
-        for ly in range(lsize[1]):
-            for lx in range(lsize[0]):
-                lid = (lx, ly, lz)
-                gid = tuple(
-                    group[d] * lsize[d] + lid[d] for d in range(3)
-                )
-                item = WorkItem(ctx, dict(group_env), gid, lid, group)
-                generators.append(_item_driver(item, kernel.body))
-
-    alive = list(generators)
-    while alive:
-        statuses = []
-        still_alive = []
-        for gen in alive:
-            try:
-                status = next(gen)
-                statuses.append(status)
-                still_alive.append(gen)
-            except StopIteration:
-                statuses.append("done")
-        if still_alive and any(s == "done" for s in statuses):
-            raise BarrierDivergence(
-                "some work-items finished while others wait at a barrier"
-            )
-        alive = still_alive
-
-
-def _item_driver(item: WorkItem, body: c.CBlock):
-    try:
-        yield from item.run_gen(body)
-    except _Return:
-        pass

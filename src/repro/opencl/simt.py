@@ -1932,15 +1932,20 @@ def try_launch(
     return True
 
 
-def _block_geometry(gsize: tuple, lsize: tuple) -> dict:
+def _block_geometry(gsize: tuple, lsize: tuple, whole_grid: bool = False) -> dict:
     """Per-block lane geometry, cached per launch shape.
 
     The returned arrays are shared (and marked read-only): the engine
     only ever derives new arrays from them.  The autotune/explore loops
     re-launch identical geometries hundreds of times, which makes the
     ``tile``/``repeat`` setup a measurable share of small launches.
+
+    ``whole_grid`` ignores :data:`MAX_LANES` and lays the entire launch
+    out as a single block — the layout of the fused backend
+    (:mod:`repro.backend.fused`), which executes the whole NDRange at
+    once.
     """
-    key = (gsize, lsize)
+    key = (gsize, lsize, whole_grid)
     cache: "OrderedDict[tuple, dict]" = getattr(_pool_tls, "geometry", None)
     if cache is None:
         cache = OrderedDict()
@@ -1953,9 +1958,12 @@ def _block_geometry(gsize: tuple, lsize: tuple) -> dict:
     num_groups = tuple(g // l for g, l in zip(gsize, lsize))
     total_groups = num_groups[0] * num_groups[1] * num_groups[2]
     lanes_per_group = lsize[0] * lsize[1] * lsize[2]
-    block_groups = max(
-        1, min(total_groups, MAX_LANES // max(1, lanes_per_group))
-    )
+    if whole_grid:
+        block_groups = total_groups
+    else:
+        block_groups = max(
+            1, min(total_groups, MAX_LANES // max(1, lanes_per_group))
+        )
 
     # Lane order within a group matches the scalar scheduler: z-outer,
     # y-middle, x-inner.

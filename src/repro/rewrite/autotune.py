@@ -141,11 +141,122 @@ def _largest_divisor_at_most(n: int, cap: int) -> Optional[int]:
     return None
 
 
+def _square_nest_lengths(
+    high_level: Lambda, size_env: Mapping[str, int]
+) -> Optional[tuple]:
+    """``(rows, cols)`` of the first independent two-deep map nest of
+    the program, or ``None`` (no nest / symbolic sizes)."""
+    from repro.arith import simplify
+    from repro.types import ArrayType
+    from repro.ir.nodes import FunCall
+    from repro.ir.typecheck import infer_types
+    from repro.ir.visit import clone_decl, post_order
+    from repro.rewrite.mapping import _match_map_nest_2d
+
+    typed = clone_decl(high_level)
+    assert isinstance(typed, Lambda)
+    try:
+        infer_types(typed.body)
+    except Exception:
+        return None
+
+    def length_of(e) -> Optional[int]:
+        t = getattr(e, "type", None)
+        if not isinstance(t, ArrayType):
+            return None
+        try:
+            return int(simplify(t.length).evaluate(dict(size_env)))
+        except Exception:
+            return None
+
+    for e in post_order(typed.body):
+        if isinstance(e, FunCall):
+            match = _match_map_nest_2d(e)
+            if match is not None:
+                rows, cols = length_of(match[0]), length_of(match[1])
+                if rows is None or cols is None:
+                    return None
+                return rows, cols
+    return None
+
+
+def tile_2d_candidates(
+    high_level: Lambda,
+    size_env: Mapping[str, int],
+    tiles: Sequence[tuple] = ((8, 8),),
+) -> list:
+    """2-D tiled schedules for square two-deep map nests.
+
+    Applies the ``tile-2d`` macro rule of :mod:`repro.rewrite.mapping`
+    (unstaged and cooperative ``toLocal`` staging), finishes and
+    specializes the rewrite the way the explorer does, and returns one
+    :class:`Candidate` per applicable tile shape.  Guarded by shape:
+    the nest must be square and both dimensions divisible by the tile —
+    non-matching programs get an empty list, so the fixed menu keeps
+    its 1-D shapes only.
+    """
+    from repro.ir.typecheck import infer_types
+    from repro.ir.visit import clone_decl
+    from repro.rewrite.mapping import tile_2d
+    from repro.rewrite.strategies import one_step_rewrites
+    from repro.rewrite.explore import (
+        _collect_parallel,
+        _finish_variants,
+        _geometry,
+        _nesting_ok,
+        specialize_sizes,
+    )
+
+    dims = _square_nest_lengths(high_level, size_env)
+    if dims is None:
+        return []
+    rows, cols = dims
+    candidates = []
+    for th, tw in tiles:
+        if rows != cols or rows % th or cols % tw:
+            continue
+        for stage in (False, True):
+            rule = tile_2d(th, tw, stage=stage)
+            rewritten = one_step_rewrites(rule, high_level.body)
+            if not rewritten:
+                continue
+            variants = _finish_variants(rewritten[0])
+            if not variants:
+                continue
+            finished, _ = variants[0]
+            program = clone_decl(Lambda(list(high_level.params), finished))
+            typed = clone_decl(program)
+            try:
+                infer_types(typed.body)
+            except Exception:
+                continue
+            if not _nesting_ok(typed.body):
+                continue
+            geometry = _geometry(_collect_parallel(typed.body), size_env)
+            if geometry is None:
+                continue
+            local, global_ = geometry
+            candidates.append(
+                Candidate(
+                    rule.name,
+                    specialize_sizes(program, size_env),
+                    local,
+                    global_,
+                )
+            )
+    return candidates
+
+
 def default_candidates(
-    high_level: Lambda, n: int, chunks: Sequence[int] = (32, 64, 128)
+    high_level: Lambda,
+    n: int,
+    chunks: Sequence[int] = (32, 64, 128),
+    size_env: Optional[Mapping[str, int]] = None,
 ) -> list:
     """The standard lowering menu: flat global mapping plus work-group
-    tilings at several chunk sizes (the split-join rule's knob).
+    tilings at several chunk sizes (the split-join rule's knob), plus —
+    for square two-deep map nests with a concrete ``size_env`` — the
+    2-D ``tile-2d`` schedules of :func:`tile_2d_candidates`.
 
     When no configured chunk divides ``n`` the menu falls back to the
     largest divisor of ``n`` below the biggest chunk, so irregular sizes
@@ -175,6 +286,8 @@ def default_candidates(
         fallback = _largest_divisor_at_most(n, max(chunks))
         if fallback is not None:
             candidates.append(tiled(fallback))
+    if size_env is not None:
+        candidates.extend(tile_2d_candidates(high_level, size_env))
     return candidates
 
 
@@ -237,7 +350,7 @@ def autotune(
         n = outer_map_length(high_level, size_env)
         if n is None:
             n = len(np.asarray(next(iter(inputs.values()))).ravel())
-        candidates = default_candidates(high_level, n)
+        candidates = default_candidates(high_level, n, size_env=size_env)
 
     reference = None
     profile = DEVICES[device]

@@ -22,10 +22,12 @@ from repro.opencl.interp import BarrierDivergence
 from repro.opencl.runtime import _parse_cached
 
 
-#: The three execution tiers whose results must agree bitwise:
-#: the scalar reference interpreter, the interpretive lane-batched
-#: walk, and the closure-compiled pipeline.
-ENGINES = ("scalar", "interp", "compiled")
+#: The execution backends whose results must agree bitwise: the scalar
+#: reference interpreter, the interpretive lane-batched walk, the
+#: closure-compiled pipeline, and the whole-grid fused-numpy backend
+#: (whose chain falls back through compiled/scalar on refusals — the
+#: agreement must hold either way).
+ENGINES = ("scalar", "interp", "compiled", "fused")
 
 
 def run_both(source, global_size, local_size, make_args, kernel_name=None,
