@@ -17,6 +17,7 @@ they complete; see ``src/repro/opencl/ENGINES.md``.
 """
 
 from repro.backend.base import Backend, CompileUnsupported, ExecutionRequest
+from repro.backend.ledger import LEDGER, DegradationEvent, DegradationLedger
 from repro.backend.registry import (
     EngineSpec,
     ResolvedChain,
@@ -36,7 +37,10 @@ from repro.backend.fused import FusedBackend, FusedKernel, get_fused_kernel
 __all__ = [
     "Backend",
     "CompileUnsupported",
+    "DegradationEvent",
+    "DegradationLedger",
     "EngineSpec",
+    "LEDGER",
     "ExecutionRequest",
     "FusedBackend",
     "FusedKernel",

@@ -1,0 +1,146 @@
+"""Degradation ledger: make silently-degraded runs observable.
+
+A fallback chain (:meth:`repro.backend.registry.ResolvedChain.execute`)
+is the right recovery mechanism for a backend that cannot run a kernel
+— but before this ledger existed, a run that silently fell from the
+fused tier all the way to the scalar reference looked *identical* to a
+healthy one (that is the point of the bitwise contract) while being
+orders of magnitude slower.  Every decline is now recorded here with
+the engine name, the declining backend and a reason, so harnesses (the
+benchsuite CLI, the chaos checker) can report exactly which tiers
+degraded and why.
+
+The ledger is deliberately **not** part of :class:`~repro.opencl.interp.Counters`:
+counters obey the cross-backend bitwise-equality contract, and which
+tier ultimately served a launch is precisely the thing that may differ
+between engines without affecting results.
+
+Decline kinds:
+
+``static``
+    ``plan``/``run`` raised :class:`~repro.backend.base.CompileUnsupported`
+    before touching buffers.
+``dynamic``
+    ``run`` returned ``False`` after rolling buffers back (e.g. a
+    cross-lane race detected mid-launch).
+``crash``
+    ``plan`` raised an unexpected exception; the chain shields the
+    launch and falls through (the final member re-raises).
+``fault``
+    a deterministic injected fault (:mod:`repro.faultinject`,
+    site ``backend-run``) declined the backend.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter as _Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "DegradationEvent",
+    "DegradationLedger",
+    "LEDGER",
+    "clear",
+    "counts",
+    "events",
+    "record",
+    "summary",
+]
+
+#: Cap on retained individual events (counts are kept exactly beyond it).
+_MAX_EVENTS = 10_000
+
+DECLINE_KINDS = ("static", "dynamic", "crash", "fault")
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One backend declining one launch."""
+
+    engine: str
+    backend: str
+    kind: str  # one of DECLINE_KINDS
+    reason: str
+
+
+class DegradationLedger:
+    """Thread-safe record of backend declines (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[DegradationEvent] = []
+        self._counts: _Counter = _Counter()
+        self._dropped = 0
+
+    def record(self, engine: str, backend: str, kind: str, reason: str) -> None:
+        event = DegradationEvent(engine, backend, kind, reason)
+        with self._lock:
+            self._counts[(engine, backend, kind)] += 1
+            if len(self._events) < _MAX_EVENTS:
+                self._events.append(event)
+            else:
+                self._dropped += 1
+
+    def events(self) -> Tuple[DegradationEvent, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    def counts(self) -> Dict[Tuple[str, str, str], int]:
+        """``(engine, backend, kind) -> count`` — exact even past the
+        per-event cap."""
+        with self._lock:
+            return dict(self._counts)
+
+    def total(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._counts.clear()
+            self._dropped = 0
+
+    def summary(self) -> str:
+        """Human-readable per-(engine, backend, kind) digest."""
+        counts = self.counts()
+        if not counts:
+            return "degradation ledger: empty (no backend declined)"
+        lines = ["degradation ledger:"]
+        for (engine, backend, kind), n in sorted(counts.items()):
+            lines.append(
+                f"  engine {engine!r}: backend {backend!r} declined "
+                f"{n}x ({kind})"
+            )
+        if self._dropped:
+            lines.append(f"  [{self._dropped} events past the cap; counts exact]")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return self.total()
+
+
+#: The process-global ledger every fallback chain records into.
+LEDGER = DegradationLedger()
+
+
+def record(engine: str, backend: str, kind: str, reason: str) -> None:
+    LEDGER.record(engine, backend, kind, reason)
+
+
+def events() -> Tuple[DegradationEvent, ...]:
+    return LEDGER.events()
+
+
+def counts() -> Dict[Tuple[str, str, str], int]:
+    return LEDGER.counts()
+
+
+def clear() -> None:
+    LEDGER.clear()
+
+
+def summary() -> str:
+    return LEDGER.summary()

@@ -26,6 +26,11 @@ Chain semantics (:meth:`ResolvedChain.execute`):
    :class:`~repro.opencl.simt.VectorizationError` (the historical
    behaviour of forcing ``engine="vector"`` onto an unsupported
    kernel); graceful chains end in ``scalar``, which always succeeds.
+4. Every decline — static, dynamic, an unexpected ``plan()`` crash
+   (shielded for non-final members), or an injected ``backend-run``
+   fault — is recorded in the degradation ledger
+   (:mod:`repro.backend.ledger`), so a silently-degraded run is
+   observable after the fact.
 
 ``REPRO_SIM_ENGINE`` expresses a *preferred default*, not a hard
 requirement: resolving a strict engine name from the environment
@@ -129,26 +134,61 @@ class ResolvedChain:
     strict: bool
 
     def execute(self, request: ExecutionRequest) -> None:
+        from repro import faultinject
+        from repro.backend import ledger
+        from repro.faultinject import FaultInjected
         from repro.opencl.simt import VectorizationError
 
         refusals = []
         skip_classes: set = set()
+        last = self.members[-1] if self.members else None
         for backend in self.members:
             if backend.dynamic_class in skip_classes:
                 continue
+            if backend is not last:
+                # ``backend-run`` fault site: an injected fault declines
+                # this backend (exercising the chain + ledger); the final
+                # member is exempt so a graceful chain still completes.
+                try:
+                    faultinject.maybe_fail("backend-run")
+                except FaultInjected as exc:
+                    ledger.record(self.name, backend.name, "fault", str(exc))
+                    refusals.append(f"{backend.name}: injected fault")
+                    continue
             try:
                 plan = backend.plan(request.parsed, request.kernel)
             except CompileUnsupported as exc:
+                ledger.record(self.name, backend.name, "static", str(exc))
                 refusals.append(f"{backend.name}: {exc}")
+                continue
+            except Exception as exc:
+                # Crash shield: an unexpected bug in a backend's plan()
+                # must not take the launch down while healthier tiers
+                # remain.  plan() precedes any buffer write, so falling
+                # through is exact; the final member re-raises (a chain
+                # with no healthy backend is a real error).
+                if backend is last:
+                    raise
+                ledger.record(
+                    self.name, backend.name, "crash",
+                    f"{type(exc).__name__}: {exc}",
+                )
+                refusals.append(
+                    f"{backend.name}: crashed in plan ({type(exc).__name__})"
+                )
                 continue
             try:
                 done = backend.run(plan, request)
             except CompileUnsupported as exc:
                 # Launch-shape refusal before any buffer was touched.
+                ledger.record(self.name, backend.name, "static", str(exc))
                 refusals.append(f"{backend.name}: {exc}")
                 continue
             if done:
                 return
+            ledger.record(
+                self.name, backend.name, "dynamic", "dynamic bail-out"
+            )
             refusals.append(f"{backend.name}: dynamic bail-out")
             skip_classes.add(backend.dynamic_class)
         detail = "; ".join(refusals) or "empty backend chain"

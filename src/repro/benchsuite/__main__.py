@@ -58,7 +58,18 @@ def main(argv=None) -> int:
              "registered in repro.backend: auto, fused, compiled, interp, "
              "scalar, ...)",
     )
+    parser.add_argument(
+        "--fault-plan", default=None,
+        help="deterministic fault-injection spec (same syntax as "
+             "REPRO_FAULT_PLAN, e.g. 'seed=11;rate=0.05'); recoveries "
+             "are reported after the run",
+    )
     args = parser.parse_args(argv)
+
+    from repro import faultinject
+
+    if args.fault_plan is not None:
+        faultinject.set_plan(args.fault_plan)  # fail fast on bad specs
 
     if args.engine is not None:
         from repro.backend import resolve
@@ -96,6 +107,8 @@ def main(argv=None) -> int:
                 f"[tuning cache: {s.run_hits} run hits / "
                 f"{s.run_misses} misses, {s.kernel_hits} kernel hits]"
             )
+            _print_cache_recoveries(s)
+    _print_resilience_summary()
 
     if args.experiment == "explore":
         from repro.benchsuite.explore import format_explore, run_explore
@@ -110,8 +123,55 @@ def main(argv=None) -> int:
             engine=args.engine,
         )
         print(format_explore(data))
+        _print_resilience_summary()
 
     return 0
+
+
+def _print_cache_recoveries(stats) -> None:
+    """Surface every non-silent cache recovery (nothing when clean).
+
+    Diagnostics go to stderr: stdout carries the artifact tables, which
+    must stay byte-identical across engines and fault plans."""
+    recovered = {
+        "quarantined": stats.quarantined,
+        "io errors": stats.io_errors,
+        "evictions": stats.evictions,
+        "write skips": stats.write_skips,
+        "faults recovered": stats.faults_recovered,
+    }
+    shown = {k: v for k, v in recovered.items() if v}
+    if shown:
+        print(
+            "[cache recoveries: "
+            + ", ".join(f"{v} {k}" for k, v in shown.items())
+            + "]",
+            file=sys.stderr,
+        )
+
+
+def _print_resilience_summary() -> None:
+    """Fault-injection and backend-degradation observability: a chaos
+    or degraded run must show its recoveries, a clean run prints
+    nothing.  Stderr, like :func:`_print_cache_recoveries` — which
+    tier served a launch may legitimately differ between engines."""
+    from repro import faultinject
+    from repro.backend import ledger
+
+    plan = faultinject.active_plan()
+    if plan is not None:
+        counts = faultinject.counts()
+        if counts:
+            parts = [
+                f"{site}: {c.injected}/{c.checks} injected "
+                f"({c.recovered} retried, {c.escaped} escaped)"
+                for site, c in sorted(counts.items())
+                if c.injected
+            ]
+            detail = "; ".join(parts) if parts else "no faults landed"
+            print(f"[fault plan {plan.describe()} — {detail}]", file=sys.stderr)
+    if len(ledger.LEDGER):
+        print(ledger.summary(), file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -1122,7 +1122,14 @@ def compile_kernel(
 
     ``memo=False`` bypasses the structural-key compile memo (used by the
     compile-time benchmarks, which must measure a real compilation).
+
+    The ``compile`` fault-injection site sits at this entry (before the
+    memo, so chaos runs exercise it on every call); injected faults are
+    absorbed by bounded in-place retries.
     """
+    from repro import faultinject
+
+    faultinject.survive("compile")
     options = options or CompilerOptions()
     if not memo:
         return KernelGenerator(options).compile(fun)

@@ -149,9 +149,17 @@ def launch(
     counters: Optional[Counters] = None,
     engine: Optional[str] = None,
 ) -> Counters:
-    """Execute a kernel over the NDRange; returns the counters."""
+    """Execute a kernel over the NDRange; returns the counters.
+
+    The ``simulate`` fault-injection site sits here, before any buffer
+    is wrapped or touched: an injected fault is absorbed by bounded
+    in-place retries (:func:`repro.faultinject.survive`), so a chaos
+    run recovers to bit-identical results.
+    """
+    from repro import faultinject
     from repro.backend.base import ExecutionRequest
 
+    faultinject.survive("simulate")
     kernel = program.kernel(kernel_name)
     gsize = _normalize_size(global_size)
     lsize = _normalize_size(local_size)

@@ -63,12 +63,33 @@ measured cycles additionally by ``(input fingerprint, launch geometry,
 device, engine)``.  A warm cache therefore performs zero recompilations
 and zero re-executions for unchanged programs; the explorer reports both
 hit-rates in its stats.
+
+Fault tolerance
+---------------
+The compile → simulate → verify loop degrades gracefully instead of
+dying with the worst candidate (see ``src/repro/RESILIENCE.md``):
+
+* every candidate failure is *classified* (``compile`` / ``simulate`` /
+  ``verify`` / ``infra`` / ``timeout`` / ``cancelled``) and quarantined
+  into a structured :class:`~repro.resilience.FailureReport` on
+  :class:`ExplorationResult` — the rest of the search completes;
+* transient failures (injected faults, :class:`~repro.resilience.TransientError`,
+  ``OSError``) are retried with exponential backoff
+  (``ExploreConfig.retries`` / ``retry_backoff``);
+* ``ExploreConfig.candidate_timeout`` puts a wall-clock watchdog on
+  each candidate attempt — a hung candidate becomes a ``timeout``
+  report, not a hung search;
+* an :class:`~repro.resilience.CancellationToken` in
+  ``ExploreConfig.cancellation`` aborts the search cleanly at the next
+  stage boundary (enumeration level, candidate start, pipeline stage);
+  already-evaluated candidates are still ranked and returned.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
@@ -106,10 +127,28 @@ from repro.rewrite.rules import (
     vectorize_map,
 )
 from repro.rewrite.strategies import exhaustively, one_step_rewrites
+from repro import faultinject
+from repro.resilience import (
+    TRANSIENT_ERRORS,
+    Cancelled,
+    CancellationToken,
+    DeadlineExceeded,
+    FailureReport,
+    run_with_deadline,
+)
 
 
 class ExplorationError(Exception):
     pass
+
+
+class _StageFailure(Exception):
+    """A deterministic (non-transient) failure of one evaluation stage."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
 
 
 @dataclass
@@ -133,6 +172,17 @@ class ExploreConfig:
     #: ``None`` demands bitwise equality with the reference interpreter;
     #: a float relaxes verification to ``np.allclose`` at that rtol.
     rtol: Optional[float] = None
+    #: Wall-clock deadline (seconds) per candidate evaluation attempt,
+    #: enforced by a watchdog thread; ``None`` disables it.
+    candidate_timeout: Optional[float] = None
+    #: Bounded retries for *transient* evaluation failures (injected
+    #: faults, TransientError, OSError) with exponential backoff.
+    retries: int = 2
+    #: Initial backoff delay between retries (doubles per attempt).
+    retry_backoff: float = 0.02
+    #: Cooperative cancellation: cancel() aborts the search at the next
+    #: stage boundary; partial results are still ranked and returned.
+    cancellation: Optional[CancellationToken] = None
 
     def rule_menu(self) -> list:
         # Macro rules first: the beam caps each BFS level, and one
@@ -163,6 +213,19 @@ class ExploreStats:
     executions: int = 0
     compile_failures: int = 0
     verify_failures: int = 0
+    #: Failure taxonomy beyond compile/verify (see RESILIENCE.md):
+    #: candidates whose execution raised (engine refusal, bad geometry).
+    simulate_failures: int = 0
+    #: Transient infrastructure failures that survived every retry.
+    infra_failures: int = 0
+    #: Candidates killed by the per-candidate watchdog deadline.
+    timeouts: int = 0
+    #: Candidates skipped or aborted through the cancellation token.
+    cancelled: int = 0
+    #: Transient failures absorbed by the retry/backoff loop.
+    retries: int = 0
+    #: True when a cancellation token stopped any part of the search.
+    aborted: bool = False
     kernel_cache_hits: int = 0
     kernel_cache_misses: int = 0
     cycle_cache_hits: int = 0
@@ -198,6 +261,12 @@ class ExploreStats:
             "executions": self.executions,
             "compile_failures": self.compile_failures,
             "verify_failures": self.verify_failures,
+            "simulate_failures": self.simulate_failures,
+            "infra_failures": self.infra_failures,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
+            "retries": self.retries,
+            "aborted": self.aborted,
             "kernel_cache_hits": self.kernel_cache_hits,
             "kernel_cache_misses": self.kernel_cache_misses,
             "kernel_cache_hit_rate": round(self.kernel_cache_hit_rate(), 4),
@@ -232,6 +301,10 @@ class ExploredCandidate:
 class ExplorationResult:
     candidates: list  # evaluated ExploredCandidates, best first
     stats: ExploreStats
+    #: Structured quarantine records of candidates that failed, timed
+    #: out or were cancelled (:class:`repro.resilience.FailureReport`);
+    #: the search completes around them.
+    failures: list = field(default_factory=list)
 
     def best(self) -> ExploredCandidate:
         if not self.candidates:
@@ -254,6 +327,10 @@ class ExplorationResult:
             f"{s.dedup_hit_rate():.0%}, {s.evaluated} evaluated, "
             f"kernel cache hit-rate {s.kernel_cache_hit_rate():.0%}]"
         )
+        if self.failures:
+            lines.append(f"  {len(self.failures)} candidate(s) quarantined:")
+            for report in self.failures[:top]:
+                lines.append(f"    - {report.describe()}")
         return "\n".join(lines)
 
 
@@ -573,7 +650,13 @@ def _enumerate(
     frontier: list = [(start, ())]
     derivations: list = [(start, ())]
 
+    token = config.cancellation
     for _ in range(config.depth):
+        if token is not None and token.cancelled:
+            # Abort at a level boundary: the derivations found so far
+            # still finish/rank, so a cancelled search returns cleanly.
+            stats.aborted = True
+            break
         next_frontier: list = []
         for body, trace in frontier:
             for rule in rules:
@@ -702,9 +785,21 @@ def explore_program(
     inputs_fp = fingerprint_inputs(inputs) if cache is not None else ""
     cache_before = replace(cache.stats) if cache is not None else None
 
-    def evaluate(cand: ExploredCandidate):
+    search_token = config.cancellation
+
+    def _evaluate_once(
+        cand: ExploredCandidate, events: dict, token: Optional[CancellationToken]
+    ) -> ExploredCandidate:
+        """One evaluation attempt: compile → simulate → verify.
+
+        Raises :class:`_StageFailure` for deterministic stage failures,
+        :class:`~repro.resilience.Cancelled` at a checkpoint after the
+        token was cancelled, and lets transient errors (injected faults,
+        ``OSError``...) propagate to the retry loop in ``evaluate``.
+        """
+        if token is not None:
+            token.raise_if_cancelled()
         options = CompilerOptions(local_size=cand.local_size)
-        events = {"compiled": 0, "executed": 0}
         kernel = None
         key = None
         if cache is not None:
@@ -715,12 +810,16 @@ def explore_program(
                 kernel = compile_kernel(
                     specialize_sizes(cand.program, size_env), options
                 )
+            except TRANSIENT_ERRORS:
+                raise
             except (CodeGenError, pat.LiftTypeError, ValueError) as exc:
-                return None, events, f"compile: {exc}"
-            events["compiled"] = 1
+                raise _StageFailure("compile", str(exc)) from exc
+            events["compiled"] += 1
             if cache is not None:
                 cache.put_kernel(key, kernel)
 
+        if token is not None:
+            token.raise_if_cancelled()
         cycles = None
         ck = None
         if cache is not None:
@@ -738,9 +837,16 @@ def explore_program(
                     kernel, kernel_inputs, size_env, cand.global_size,
                     local_size=cand.local_size, engine=config.engine,
                 )
+            except (Cancelled, DeadlineExceeded):
+                raise
+            except TRANSIENT_ERRORS:
+                raise
             except Exception as exc:
-                return None, events, f"execute: {exc}"
-            events["executed"] = 1
+                raise _StageFailure("simulate", str(exc)) from exc
+            events["executed"] += 1
+            if token is not None:
+                token.raise_if_cancelled()
+            faultinject.survive("verify")
             out = np.asarray(run.output, dtype=float).ravel()
             if config.rtol is None:
                 ok = out.shape == reference.shape and np.array_equal(out, reference)
@@ -749,7 +855,7 @@ def explore_program(
                     out, reference, rtol=config.rtol
                 )
             if not ok:
-                return None, events, "verify: result differs from reference"
+                raise _StageFailure("verify", "result differs from reference")
             cycles = estimate_cycles(run.counters, profile)
             if cache is not None:
                 cache.put_cycles(ck, cycles)
@@ -760,23 +866,109 @@ def explore_program(
             cycles, profile, cand.global_size, cand.local_size
         )
         cand.kernel_source = kernel.source
-        return cand, events, None
+        return cand
+
+    def evaluate(cand: ExploredCandidate):
+        """Fault-tolerant wrapper: watchdog deadline per attempt plus
+        bounded retries with exponential backoff for transient errors.
+        Returns ``(candidate | None, events, FailureReport | None)``."""
+        events = {"compiled": 0, "executed": 0, "retries": 0}
+        start = time.monotonic()
+
+        def fail(kind: str, message: str, attempts: int):
+            report = FailureReport(
+                label=cand.label, trace=cand.trace, kind=kind,
+                message=message, attempts=attempts,
+                elapsed=time.monotonic() - start,
+            )
+            return None, dict(events), report
+
+        delay = config.retry_backoff
+        attempt = 0
+        while True:
+            attempt += 1
+            # A child token per attempt: the watchdog cancels the
+            # attempt's stray worker without aborting the whole search.
+            attempt_token = (
+                search_token.child() if search_token is not None
+                else CancellationToken()
+            )
+            try:
+                if search_token is not None:
+                    search_token.raise_if_cancelled()
+                if config.candidate_timeout is not None:
+                    result = run_with_deadline(
+                        lambda: _evaluate_once(cand, events, attempt_token),
+                        config.candidate_timeout,
+                        token=attempt_token,
+                    )
+                else:
+                    result = _evaluate_once(cand, events, attempt_token)
+                return result, dict(events), None
+            except _StageFailure as exc:
+                return fail(exc.kind, exc.message, attempt)
+            except Cancelled:
+                return fail("cancelled", "exploration cancelled", attempt)
+            except DeadlineExceeded as exc:
+                return fail("timeout", str(exc), attempt)
+            except TRANSIENT_ERRORS as exc:
+                if attempt > config.retries:
+                    return fail(
+                        "infra", f"{type(exc).__name__}: {exc}", attempt
+                    )
+                events["retries"] += 1
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+            except Exception as exc:  # unexpected: infra, not retried
+                return fail(
+                    "infra",
+                    f"unexpected {type(exc).__name__}: {exc}",
+                    attempt,
+                )
 
     from repro.opencl import simt_compile
 
+    _FAILURE_STAT = {
+        "compile": "compile_failures",
+        "simulate": "simulate_failures",
+        "verify": "verify_failures",
+        "infra": "infra_failures",
+        "timeout": "timeouts",
+        "cancelled": "cancelled",
+    }
+
     pipelines_before = simt_compile.compile_count()
     evaluated: list = []
+    failures: list = []
     with ThreadPoolExecutor(max_workers=max(1, config.workers)) as pool:
-        for cand, events, error in pool.map(evaluate, survivors):
+        scheduled = []
+        for cand in survivors:
+            if search_token is not None and search_token.cancelled:
+                stats.aborted = True
+                stats.cancelled += 1
+                failures.append(
+                    FailureReport(
+                        label=cand.label, trace=cand.trace, kind="cancelled",
+                        message="cancelled before evaluation started",
+                        attempts=0,
+                    )
+                )
+                continue
+            scheduled.append(pool.submit(evaluate, cand))
+        for future in scheduled:
+            cand, events, report = future.result()
             stats.compilations += events["compiled"]
             stats.executions += events["executed"]
-            if error is not None:
-                if error.startswith("compile"):
-                    stats.compile_failures += 1
-                elif error.startswith("verify"):
-                    stats.verify_failures += 1
-                else:
-                    stats.compile_failures += 1
+            stats.retries += events["retries"]
+            if report is not None:
+                failures.append(report)
+                setattr(
+                    stats,
+                    _FAILURE_STAT[report.kind],
+                    getattr(stats, _FAILURE_STAT[report.kind]) + 1,
+                )
+                if report.kind == "cancelled":
+                    stats.aborted = True
                 continue
             evaluated.append(cand)
     stats.evaluated = len(evaluated)
@@ -792,4 +984,6 @@ def explore_program(
         stats.cycle_cache_misses = after.cycle_misses - cache_before.cycle_misses
 
     evaluated.sort(key=lambda c: (c.runtime, len(c.trace), c.trace))
-    return ExplorationResult(candidates=evaluated, stats=stats)
+    return ExplorationResult(
+        candidates=evaluated, stats=stats, failures=failures
+    )

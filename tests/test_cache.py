@@ -1,18 +1,32 @@
-"""Persistent tuning cache: round-trips, key sensitivity, and corrupt or
-stale entries falling back to a recompile."""
+"""Persistent tuning cache: round-trips, key sensitivity, corrupt or
+stale entries falling back to a recompile (with quarantine and
+classified stats), LRU eviction under a size cap, and crash/concurrency
+safety (multi-process writer hammer, ``kill -9`` mid-write)."""
 
+import hashlib
 import json
+import multiprocessing
+import os
 import pickle
+import signal
+import time
 
 import numpy as np
+import pytest
 
 from repro.arith import Var
 from repro.types import ArrayType, FLOAT
 from repro.ir.nodes import Lambda, Param, UserFun
 from repro.ir.dsl import map_
-from repro.cache import CACHE_VERSION, TuningCache, fingerprint_inputs
+from repro.cache import (
+    CACHE_VERSION,
+    QUARANTINE_DIR,
+    TuningCache,
+    fingerprint_inputs,
+)
 from repro.compiler.codegen import compile_kernel
 from repro.compiler.options import CompilerOptions
+from repro.opencl.interp import Counters
 from repro.rewrite.lowering import lower_to_global
 
 
@@ -126,3 +140,242 @@ class TestFingerprintAndClear:
         cache.put_cycles("ef" * 32, 9.0)
         assert cache.clear() == 2
         assert cache.get_kernel(key) is None
+
+
+class TestQuarantineClassification:
+    """Failing entries are classified and moved aside, never silently
+    unlinked: corrupt (undecodable) vs stale (outdated) vs I/O error."""
+
+    def _cycles_path(self, cache, key="ab" * 32, value=7.0):
+        cache.put_cycles(key, value)
+        return key, cache._path(key, "cycles.json")
+
+    def test_corrupt_entry_lands_in_quarantine(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key, path = self._cycles_path(cache)
+        path.write_bytes(b"garbage, no header")
+        assert cache.get_cycles(key) is None
+        assert not path.exists()
+        (qfile,) = cache.quarantined_entries()
+        assert qfile.parent.name == QUARANTINE_DIR
+        assert qfile.name == path.name + ".corrupt"
+        assert cache.stats.corrupt_entries == 1
+        assert cache.stats.stale_entries == 0
+        assert cache.stats.quarantined == cache.stats.invalid == 1
+
+    def test_checksum_mismatch_is_corrupt(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key, path = self._cycles_path(cache)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip one payload byte under a valid header
+        path.write_bytes(bytes(raw))
+        assert cache.get_cycles(key) is None
+        assert cache.stats.corrupt_entries == 1
+        (qfile,) = cache.quarantined_entries()
+        assert qfile.name.endswith(".corrupt")
+
+    def test_old_format_version_is_stale(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key, path = self._cycles_path(cache)
+        body = json.dumps(
+            {"version": CACHE_VERSION - 1, "key": key, "cycles": 7.0}
+        ).encode()
+        digest = hashlib.sha256(body).hexdigest()
+        path.write_bytes(f"repro-cache {CACHE_VERSION - 1} {digest}\n".encode() + body)
+        assert cache.get_cycles(key) is None
+        assert cache.stats.stale_entries == 1
+        assert cache.stats.corrupt_entries == 0
+        (qfile,) = cache.quarantined_entries()
+        assert qfile.name.endswith(".stale")
+
+    def test_io_error_is_not_corruption(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key = "ab" * 32
+        # A directory where the entry file should be: read_bytes raises
+        # IsADirectoryError (an OSError), which must count as an I/O
+        # miss, not send anything to quarantine.
+        cache.root.mkdir(parents=True, exist_ok=True)
+        cache._path(key, "cycles.json").mkdir()
+        assert cache.get_cycles(key) is None
+        assert cache.stats.io_errors == 1
+        assert cache.stats.quarantined == 0
+        assert cache.quarantined_entries() == []
+
+    def test_quarantined_entry_can_be_refilled(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key, path = self._cycles_path(cache)
+        path.write_bytes(b"junk")
+        assert cache.get_cycles(key) is None
+        cache.put_cycles(key, 9.0)
+        assert cache.get_cycles(key) == 9.0
+        assert len(cache.quarantined_entries()) == 1
+
+    def test_clear_can_keep_the_quarantine(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        key, path = self._cycles_path(cache)
+        path.write_bytes(b"junk")
+        cache.get_cycles(key)
+        cache.put_cycles("cd" * 32, 1.0)
+        cache.clear(include_quarantine=False)
+        assert len(cache.quarantined_entries()) == 1
+        cache.clear()
+        assert cache.quarantined_entries() == []
+
+
+class TestEviction:
+    """LRU size cap: least-recently-*used* entries go first, hits
+    refresh recency, crash-leftover temp files are swept."""
+
+    @staticmethod
+    def _fill(cache, names, t0=1_000_000_000.0):
+        """Write one cycles entry per name with increasing mtimes."""
+        paths = {}
+        for i, name in enumerate(names):
+            key = hashlib.sha256(name.encode()).hexdigest()
+            cache.put_cycles(key, float(i))
+            path = cache._path(key, "cycles.json")
+            os.utime(path, (t0 + i, t0 + i))
+            paths[name] = (key, path)
+        return paths
+
+    def test_oldest_entry_evicted_first(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        paths = self._fill(cache, ["a", "b", "c"])
+        entry_size = paths["a"][1].stat().st_size
+        cache.max_bytes = int(entry_size * 3.5)
+        self._fill(cache, ["d"], t0=2_000_000_000.0)  # triggers eviction
+        assert not paths["a"][1].exists()
+        assert paths["b"][1].exists()
+        assert paths["c"][1].exists()
+        assert cache.stats.evictions == 1
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        paths = self._fill(cache, ["a", "b", "c"])
+        assert cache.get_cycles(paths["a"][0]) == 0.0  # refresh "a"
+        entry_size = paths["a"][1].stat().st_size
+        cache.max_bytes = int(entry_size * 3.5)
+        self._fill(cache, ["d"], t0=2_000_000_000.0)
+        # "b" is now the least recently used, not "a".
+        assert paths["a"][1].exists()
+        assert not paths["b"][1].exists()
+        assert cache.stats.evictions == 1
+
+    def test_no_cap_means_no_eviction(self, tmp_path):
+        cache = TuningCache(tmp_path)  # max_bytes 0 = unlimited
+        paths = self._fill(cache, [f"n{i}" for i in range(8)])
+        assert all(p.exists() for _, p in paths.values())
+        assert cache.stats.evictions == 0
+
+    def test_quarantine_does_not_count_against_the_cap(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        paths = self._fill(cache, ["a", "b"])
+        paths["a"][1].write_bytes(b"junk")
+        assert cache.get_cycles(paths["a"][0]) is None  # quarantined
+        entry_size = paths["b"][1].stat().st_size
+        cache.max_bytes = entry_size * 10
+        self._fill(cache, ["c"], t0=2_000_000_000.0)
+        assert paths["b"][1].exists()
+        assert cache.stats.evictions == 0
+
+    def test_stale_tmp_files_are_swept(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        cache.root.mkdir(parents=True, exist_ok=True)
+        old_tmp = cache.root / ".tmp-crashed"
+        old_tmp.write_bytes(b"partial write of a killed process")
+        ancient = time.time() - 7200
+        os.utime(old_tmp, (ancient, ancient))
+        fresh_tmp = cache.root / ".tmp-inflight"
+        fresh_tmp.write_bytes(b"a write in progress right now")
+        cache.put_cycles("ab" * 32, 1.0)
+        assert not old_tmp.exists()
+        assert fresh_tmp.exists()
+
+
+# ---------------------------------------------------------------------------
+# multi-process safety (workers must be module-level for fork/spawn)
+# ---------------------------------------------------------------------------
+
+def _hammer_worker(root, worker_id, n_ops):
+    """Interleave writes, reads and evictions against a shared store."""
+    cache = TuningCache(root, max_bytes=8 * 1024)
+    for i in range(n_ops):
+        key = hashlib.sha256(f"{worker_id}:{i}".encode()).hexdigest()
+        cache.put_cycles(key, float(i))
+        value = cache.get_cycles(key)
+        # Concurrent eviction may have removed it (a miss), but a
+        # present entry must never read back wrong.
+        assert value is None or value == float(i)
+    assert cache.stats.quarantined == 0
+
+
+def _sigkill_worker(root):
+    """Write large run entries forever (until killed)."""
+    cache = TuningCache(root)
+    payload = np.arange(250_000, dtype=np.float64)  # ~2 MB per entry
+    i = 0
+    while True:
+        key = hashlib.sha256(f"victim:{i}".encode()).hexdigest()
+        cache.put_run(key, payload, Counters())
+        i += 1
+
+
+class TestMultiProcessSafety:
+    def test_concurrent_writer_hammer(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer_worker, args=(tmp_path, w, 25))
+            for w in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        # Every surviving entry must validate cleanly in a fresh cache.
+        cache = TuningCache(tmp_path)
+        suffix = ".cycles.json"
+        keys = [
+            p.name[: -len(suffix)]
+            for p in tmp_path.iterdir()
+            if p.name.endswith(suffix)
+        ]
+        assert keys, "the hammer must leave some entries behind"
+        for key in keys:
+            assert cache.get_cycles(key) is not None
+        assert cache.stats.quarantined == 0
+        assert cache.quarantined_entries() == []
+
+    def test_sigkill_mid_write_leaves_no_corrupt_entries(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=_sigkill_worker, args=(tmp_path,))
+        proc.start()
+        try:
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                if len(list(tmp_path.glob("*.run"))) >= 2:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("writer produced no entries before the deadline")
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=30)
+        # Atomic rename means every visible .run entry is complete; the
+        # kill can leave at most a stale .tmp- file (swept later).
+        cache = TuningCache(tmp_path)
+        runs = sorted(tmp_path.glob("*.run"))
+        assert runs
+        for path in runs:
+            key = path.name[: -len(".run")]
+            result = cache.get_run(key)
+            assert result is not None
+            output, counters = result
+            np.testing.assert_array_equal(
+                output, np.arange(250_000, dtype=np.float64)
+            )
+        assert cache.stats.quarantined == 0
+        assert cache.quarantined_entries() == []
+        # And the survivor store stays fully functional.
+        cache.put_cycles("ab" * 32, 3.0)
+        assert cache.get_cycles("ab" * 32) == 3.0
