@@ -176,6 +176,58 @@ def check_simulator(baseline_path: Path) -> list:
     return failures
 
 
+#: Absolute ceiling on one disabled ``obs.span()`` round-trip.  The
+#: real cost is a module attribute load plus a shared-singleton context
+#: manager (~0.2 µs); the ceiling is an order of magnitude above that
+#: so the gate only fires if the fast path gains allocation or locking.
+OBS_DISABLED_SPAN_MAX_US = 5.0
+
+
+def check_obs_overhead() -> list:
+    """Gate the observability subsystem's disabled fast path.
+
+    Two guarantees: (1) tracing and profiling are *off* unless
+    explicitly enabled — instrumented hot paths must not pay for them
+    by default (the SAXPY throughput gate above runs with every span
+    call site compiled in, so it implicitly prices the enabled
+    attribute loads); (2) a disabled ``span()`` costs roughly a dict
+    lookup, not an allocation.
+    """
+    import os
+
+    from repro import obs
+
+    failures = []
+    if not os.environ.get("REPRO_TRACE") and obs.tracing_enabled():
+        failures.append("obs: tracing active without REPRO_TRACE set")
+    if not os.environ.get("REPRO_PROFILE") and obs.profile.enabled():
+        failures.append("obs: profiler active without REPRO_PROFILE set")
+
+    if obs.tracing_enabled():
+        print("[obs] tracing enabled via REPRO_TRACE; disabled-path "
+              "cost not measured")
+        return failures
+
+    calls = 200_000
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("gate", i=0):
+            pass
+    per_call_us = (time.perf_counter() - t0) / calls * 1e6
+    status = "ok" if per_call_us <= OBS_DISABLED_SPAN_MAX_US else "REGRESSION"
+    print(
+        f"[obs] disabled span(): {per_call_us:.3f} us/call "
+        f"(ceiling {OBS_DISABLED_SPAN_MAX_US:.1f} us) {status}"
+    )
+    if per_call_us > OBS_DISABLED_SPAN_MAX_US:
+        failures.append(
+            f"obs: disabled span() costs {per_call_us:.3f} us/call, above "
+            f"the {OBS_DISABLED_SPAN_MAX_US:.1f} us ceiling — the no-op "
+            "fast path regressed"
+        )
+    return failures
+
+
 def check_explore(metrics_path: Path, baseline_path: Path) -> list:
     metrics = json.loads(metrics_path.read_text())
     baseline = json.loads(baseline_path.read_text())
@@ -261,6 +313,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     failures = check_simulator(args.baseline_dir / "BENCH_simulator.json")
+    failures += check_obs_overhead()
     if args.explore_json is not None and args.explore_json.exists():
         failures += check_explore(
             args.explore_json, args.baseline_dir / "BENCH_explore.json"

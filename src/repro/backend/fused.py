@@ -62,11 +62,13 @@ reference for every launch it completes.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Optional
 
 import numpy as np
 
 from repro.compiler import cast as c
+from repro.obs import profile as _obs_profile
 from repro.backend.base import Backend, CompileUnsupported, ExecutionRequest
 from repro.backend.registry import register_backend, register_engine
 from repro.opencl import simt, simt_compile
@@ -284,6 +286,7 @@ class _GridBlock(_Block):
 
     def _flush_load_log(self) -> None:
         counters = self.counters
+        prof = _obs_profile.ACTIVE
         for key, sym in self._sym_log.items():
             log = self._load_log.get(key)
             if log is None:
@@ -295,6 +298,10 @@ class _GridBlock(_Block):
                         counters.global_loads += distinct
                     else:
                         counters.local_loads += distinct
+                    if prof is not None:
+                        prof.record_loads(
+                            sym.array, sym.space, distinct, events - distinct
+                        )
                     continue
                 log = _LoadLog(sym.array, sym.space, 0, self.L)
                 self._load_log[key] = log
@@ -399,7 +406,7 @@ class _GridBlock(_Block):
                 ptr.array[rows, aa] = vals
             else:
                 ptr.array[aa] = vals
-            self._count_stores("private", k)
+            self._count_stores(ptr, "private", k)
             return
         if not self._needs_hazard(ptr):
             raise VectorUnsupported(
@@ -422,7 +429,7 @@ class _GridBlock(_Block):
                             arr[base : base + k] = vals
                         else:
                             arr[base : last + 1 : s] = vals
-                        self._count_stores(ptr.space, k)
+                        self._count_stores(ptr, ptr.space, k)
                         return
         # Generic: the blocked engine's scatter (hazard + fancy store;
         # ascending lane order resolves duplicate addresses).
@@ -439,7 +446,7 @@ class _GridBlock(_Block):
         if not isinstance(vals, np.ndarray):
             vals = np.broadcast_to(np.asarray(vals), (k,))
         arr.reshape(-1)[aa] = vals
-        self._count_stores(ptr.space, k)
+        self._count_stores(ptr, ptr.space, k)
 
 
 def _addr_add(off, index):
@@ -1256,6 +1263,13 @@ class FusedKernel:
         block.env = env
         block._fused_frame = _Frame(block.L)
 
+        prof = _obs_profile.ACTIVE
+        if prof is not None:
+            prof.begin_launch(kernel.name)
+            for name, v in env.items():
+                if isinstance(v, (VPtr, RowPtr)):
+                    prof.map_buffer(v.array, name)
+
         snapshot: dict = {}
         for v in base_env.values():
             if isinstance(v, Pointer) and id(v.array) in tracked:
@@ -1266,7 +1280,7 @@ class FusedKernel:
                 frame = _Frame(block.L)
                 m = block._full
                 n = block.L
-                for kind, fn in self.segments:
+                for index, (kind, fn) in enumerate(self.segments):
                     if self.has_returns and frame.returned_any:
                         m = m & ~frame.ret_mask
                         n = int(np.count_nonzero(m))
@@ -1274,7 +1288,14 @@ class FusedKernel:
                             break
                     if kind == "generic":
                         block.materialize_env()
-                    fn(block, m, n, frame)
+                    if prof is None:
+                        fn(block, m, n, frame)
+                    else:
+                        t0 = time.perf_counter()
+                        fn(block, m, n, frame)
+                        prof.record_segment(
+                            index, kind, time.perf_counter() - t0
+                        )
                 block._flush_load_log()
         except (VectorUnsupported, MemoryError):
             # MemoryError: the whole-grid layout multiplies per-lane

@@ -45,6 +45,7 @@ __all__ = [
     "clear",
     "counts",
     "events",
+    "format_snapshot",
     "record",
     "summary",
 ]
@@ -103,23 +104,62 @@ class DegradationLedger:
             self._counts.clear()
             self._dropped = 0
 
+    def as_dict(self) -> dict:
+        """JSON-serializable view for the metrics registry (repro.obs).
+
+        The exact per-(engine, backend, kind) counts plus the retained
+        event tail; :func:`format_snapshot` renders this back into the
+        human digest, so the CLI and ``--metrics-json`` show the same
+        data."""
+        with self._lock:
+            return {
+                "total": sum(self._counts.values()),
+                "dropped_events": self._dropped,
+                "declines": [
+                    {
+                        "engine": engine,
+                        "backend": backend,
+                        "kind": kind,
+                        "count": n,
+                    }
+                    for (engine, backend, kind), n
+                    in sorted(self._counts.items())
+                ],
+                "events": [
+                    {
+                        "engine": e.engine,
+                        "backend": e.backend,
+                        "kind": e.kind,
+                        "reason": e.reason,
+                    }
+                    for e in self._events
+                ],
+            }
+
     def summary(self) -> str:
         """Human-readable per-(engine, backend, kind) digest."""
-        counts = self.counts()
-        if not counts:
-            return "degradation ledger: empty (no backend declined)"
-        lines = ["degradation ledger:"]
-        for (engine, backend, kind), n in sorted(counts.items()):
-            lines.append(
-                f"  engine {engine!r}: backend {backend!r} declined "
-                f"{n}x ({kind})"
-            )
-        if self._dropped:
-            lines.append(f"  [{self._dropped} events past the cap; counts exact]")
-        return "\n".join(lines)
+        return format_snapshot(self.as_dict())
 
     def __len__(self) -> int:
         return self.total()
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Render a ledger ``as_dict()`` snapshot (e.g. pulled out of a
+    ``repro.obs`` metrics document) as the CLI digest."""
+    declines = snapshot.get("declines", [])
+    if not declines:
+        return "degradation ledger: empty (no backend declined)"
+    lines = ["degradation ledger:"]
+    for d in declines:
+        lines.append(
+            f"  engine {d['engine']!r}: backend {d['backend']!r} declined "
+            f"{d['count']}x ({d['kind']})"
+        )
+    dropped = snapshot.get("dropped_events", 0)
+    if dropped:
+        lines.append(f"  [{dropped} events past the cap; counts exact]")
+    return "\n".join(lines)
 
 
 #: The process-global ledger every fallback chain records into.

@@ -137,11 +137,13 @@ class ResolvedChain:
         from repro import faultinject
         from repro.backend import ledger
         from repro.faultinject import FaultInjected
+        from repro.obs import metrics, span
         from repro.opencl.simt import VectorizationError
 
         refusals = []
         skip_classes: set = set()
         last = self.members[-1] if self.members else None
+        metrics.inc("launch.total")
         for backend in self.members:
             if backend.dynamic_class in skip_classes:
                 continue
@@ -156,7 +158,8 @@ class ResolvedChain:
                     refusals.append(f"{backend.name}: injected fault")
                     continue
             try:
-                plan = backend.plan(request.parsed, request.kernel)
+                with span("plan", backend=backend.name, engine=self.name):
+                    plan = backend.plan(request.parsed, request.kernel)
             except CompileUnsupported as exc:
                 ledger.record(self.name, backend.name, "static", str(exc))
                 refusals.append(f"{backend.name}: {exc}")
@@ -165,26 +168,33 @@ class ResolvedChain:
                 # Crash shield: an unexpected bug in a backend's plan()
                 # must not take the launch down while healthier tiers
                 # remain.  plan() precedes any buffer write, so falling
-                # through is exact; the final member re-raises (a chain
-                # with no healthy backend is a real error).
-                if backend is last:
-                    raise
+                # through is exact.  The crash is ledgered with the
+                # crashing backend's name at *every* chain position; the
+                # final member additionally re-raises (a chain with no
+                # healthy backend is a real error).
                 ledger.record(
                     self.name, backend.name, "crash",
                     f"{type(exc).__name__}: {exc}",
                 )
+                if backend is last:
+                    raise
                 refusals.append(
                     f"{backend.name}: crashed in plan ({type(exc).__name__})"
                 )
                 continue
             try:
-                done = backend.run(plan, request)
+                with span(
+                    "run", backend=backend.name, engine=self.name,
+                    kernel=request.kernel.name,
+                ):
+                    done = backend.run(plan, request)
             except CompileUnsupported as exc:
                 # Launch-shape refusal before any buffer was touched.
                 ledger.record(self.name, backend.name, "static", str(exc))
                 refusals.append(f"{backend.name}: {exc}")
                 continue
             if done:
+                metrics.inc(f"launch.served.{backend.name}")
                 return
             ledger.record(
                 self.name, backend.name, "dynamic", "dynamic bail-out"

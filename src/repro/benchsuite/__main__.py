@@ -64,9 +64,31 @@ def main(argv=None) -> int:
              "REPRO_FAULT_PLAN, e.g. 'seed=11;rate=0.05'); recoveries "
              "are reported after the run",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a Chrome trace_event JSON of the run to PATH "
+             "(load it in chrome://tracing or ui.perfetto.dev; same as "
+             "REPRO_TRACE)",
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="dump the unified metrics snapshot (cache, explorer, "
+             "ledger, fault sites, per-tier launch counts) to PATH",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile per-barrier-segment time and per-buffer traffic "
+             "in the compiled/fused backends and print the table "
+             "(same as REPRO_PROFILE=1)",
+    )
     args = parser.parse_args(argv)
 
-    from repro import faultinject
+    from repro import faultinject, obs
+
+    if args.trace is not None:
+        obs.start_tracing(args.trace)
+    if args.profile:
+        obs.profile.enable()
 
     if args.fault_plan is not None:
         faultinject.set_plan(args.fault_plan)  # fail fast on bad specs
@@ -125,6 +147,20 @@ def main(argv=None) -> int:
         print(format_explore(data))
         _print_resilience_summary()
 
+    if args.profile:
+        print(obs.profile.format_table(), file=sys.stderr)
+    if args.metrics_json is not None:
+        import json
+
+        with open(args.metrics_json, "w") as fh:
+            json.dump(obs.snapshot(), fh, indent=2, default=str)
+        print(f"[metrics snapshot written to {args.metrics_json}]",
+              file=sys.stderr)
+    if args.trace is not None:
+        path = obs.stop_tracing()
+        if path is not None:
+            print(f"[trace written to {path}]", file=sys.stderr)
+
     return 0
 
 
@@ -155,7 +191,7 @@ def _print_resilience_summary() -> None:
     or degraded run must show its recoveries, a clean run prints
     nothing.  Stderr, like :func:`_print_cache_recoveries` — which
     tier served a launch may legitimately differ between engines."""
-    from repro import faultinject
+    from repro import faultinject, obs
     from repro.backend import ledger
 
     plan = faultinject.active_plan()
@@ -170,8 +206,11 @@ def _print_resilience_summary() -> None:
             ]
             detail = "; ".join(parts) if parts else "no faults landed"
             print(f"[fault plan {plan.describe()} — {detail}]", file=sys.stderr)
-    if len(ledger.LEDGER):
-        print(ledger.summary(), file=sys.stderr)
+    # The ledger digest renders from the unified metrics snapshot (the
+    # same document --metrics-json dumps), not a bespoke formatter.
+    ledger_snapshot = obs.snapshot().get("ledger", {})
+    if ledger_snapshot.get("total"):
+        print(ledger.format_snapshot(ledger_snapshot), file=sys.stderr)
 
 
 if __name__ == "__main__":

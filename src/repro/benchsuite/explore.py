@@ -16,9 +16,9 @@ derived schedule ahead before anything runs.  The same entry points feed
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.cache import TuningCache
 from repro.rewrite.autotune import autotune
 from repro.rewrite.explore import ExploreConfig, explore_program
@@ -48,17 +48,22 @@ def explore_benchmark(
         depth=depth, max_eval=max_eval, device=device, engine=engine
     )
 
-    start = time.perf_counter()
-    result = explore_program(
-        high_level, inputs, size_env, config=config, cache=cache
-    )
-    explore_seconds = time.perf_counter() - start
+    # timed_span measures whether or not tracing is active, so the
+    # reported seconds equal the span durations in the trace — one
+    # clock, one mechanism (satellite of the repro.obs work).
+    with obs.timed_span(
+        "explore", benchmark=name, size=size, depth=depth
+    ) as explore_span:
+        result = explore_program(
+            high_level, inputs, size_env, config=config, cache=cache
+        )
 
-    start = time.perf_counter()
-    menu_results = autotune(
-        high_level, inputs, size_env, device=device, engine=engine
-    )
-    menu_seconds = time.perf_counter() - start
+    with obs.timed_span("menu", benchmark=name, size=size) as menu_span:
+        menu_results = autotune(
+            high_level, inputs, size_env, device=device, engine=engine
+        )
+    explore_seconds = explore_span.elapsed
+    menu_seconds = menu_span.elapsed
 
     best = result.best()
     menu_best = menu_results[0]

@@ -61,12 +61,15 @@ def measure_benchmark(
     :func:`repro.backend.engine_names`; cache run entries are keyed per
     engine).
     """
+    from repro import obs
+
     inputs, size_env = bench.inputs_for(size, seed)
     expected = bench.oracle(inputs, size_env)
 
-    ref_out, ref_counters = bench.run_reference(
-        inputs, size_env, cache=cache, engine=engine
-    )
+    with obs.span("figure8.reference", benchmark=bench.name, size=size):
+        ref_out, ref_counters = bench.run_reference(
+            inputs, size_env, cache=cache, engine=engine
+        )
     np.testing.assert_allclose(
         ref_out, expected, rtol=bench.rtol, atol=1e-7,
         err_msg=f"{bench.name}: reference kernel produced wrong results",
@@ -74,10 +77,18 @@ def measure_benchmark(
 
     cells: list[Figure8Cell] = []
     for level_name, factory in OPTIMIZATION_LEVELS.items():
-        gen_out, gen_counters = bench.run_generated(
-            inputs, size_env, options_factory=factory, cache=cache,
-            engine=engine,
-        )
+        with obs.span(
+            "figure8.generated", benchmark=bench.name, size=size,
+            level=level_name,
+        ):
+            gen_out, gen_counters = bench.run_generated(
+                inputs, size_env, options_factory=factory, cache=cache,
+                engine=engine,
+            )
+        # Per-tier launch counts live in the registry's counters; the
+        # last generated run's kernel Counters are snapshot under
+        # "counters.kernel".
+        obs.register_counters(gen_counters)
         np.testing.assert_allclose(
             gen_out, expected, rtol=bench.rtol, atol=1e-7,
             err_msg=(
@@ -108,14 +119,19 @@ def run_figure8(
     cache=None,
     engine: Optional[str] = None,
 ) -> list:
+    from repro import obs
+
     names = list(benchmarks) if benchmarks is not None else list(ALL_BENCHMARKS)
     cells: list[Figure8Cell] = []
     for name in names:
         bench = get_benchmark(name)
         for size in sizes:
-            cells.extend(
-                measure_benchmark(bench, size, seed, cache=cache, engine=engine)
-            )
+            with obs.span("figure8.benchmark", benchmark=name, size=size):
+                cells.extend(
+                    measure_benchmark(
+                        bench, size, seed, cache=cache, engine=engine
+                    )
+                )
     return cells
 
 

@@ -68,7 +68,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
-from repro import faultinject
+from repro import faultinject, obs
 from repro.compiler.codegen import CompiledKernel
 from repro.compiler.options import CompilerOptions
 from repro.faultinject import FaultInjected
@@ -204,6 +204,9 @@ class TuningCache:
         # and stats updates within the process; the fcntl lock in
         # _exclusive() serializes mutations across processes.
         self._lock = threading.Lock()
+        # The newest cache owns the metrics snapshot's "cache" slot
+        # (harnesses build exactly one per run).
+        obs.register_cache_stats(self.stats)
 
     # ------------------------------------------------------------------
     # keys
@@ -360,6 +363,8 @@ class TuningCache:
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move a failing entry aside — never silently unlink it."""
+        obs.instant("cache.quarantine", entry=path.name, reason=reason)
+        obs.inc("cache.quarantines")
         self.stats.invalid += 1
         self.stats.quarantined += 1
         if reason == "stale":
@@ -463,6 +468,7 @@ class TuningCache:
         if not self.max_bytes or total <= self.max_bytes:
             return
         entries.sort(key=lambda e: (e[0], e[2].name))
+        evicted = 0
         for _, size, path in entries:
             if total <= self.max_bytes:
                 break
@@ -472,12 +478,16 @@ class TuningCache:
                 continue
             total -= size
             self.stats.evictions += 1
+            evicted += 1
+        if evicted:
+            obs.instant("cache.evict", entries=evicted, live_bytes=total)
+            obs.inc("cache.evictions", evicted)
 
     # ------------------------------------------------------------------
     # kernel entries
     # ------------------------------------------------------------------
     def get_kernel(self, key: str) -> Optional[CompiledKernel]:
-        with self._lock:
+        with obs.span("cache.get_kernel"), self._lock:
             if not self._survive_read():
                 self.stats.kernel_misses += 1
                 return None
@@ -511,7 +521,7 @@ class TuningCache:
 
     def put_kernel(self, key: str, kernel: CompiledKernel) -> None:
         entry = {"version": CACHE_VERSION, "key": key, "kernel": kernel}
-        with self._lock:
+        with obs.span("cache.put_kernel"), self._lock:
             if not self._survive_write():
                 return
             try:
@@ -525,7 +535,7 @@ class TuningCache:
     # cycle entries
     # ------------------------------------------------------------------
     def get_cycles(self, key: str) -> Optional[float]:
-        with self._lock:
+        with obs.span("cache.get_cycles"), self._lock:
             if not self._survive_read():
                 self.stats.cycle_misses += 1
                 return None
@@ -555,7 +565,7 @@ class TuningCache:
 
     def put_cycles(self, key: str, cycles: float) -> None:
         entry = {"version": CACHE_VERSION, "key": key, "cycles": float(cycles)}
-        with self._lock:
+        with obs.span("cache.put_cycles"), self._lock:
             if not self._survive_write():
                 return
             try:
@@ -572,7 +582,7 @@ class TuningCache:
     # ------------------------------------------------------------------
     def get_run(self, key: str) -> Optional[tuple]:
         """``(output array, Counters)`` of a cached execution, or ``None``."""
-        with self._lock:
+        with obs.span("cache.get_run"), self._lock:
             if not self._survive_read():
                 self.stats.run_misses += 1
                 return None
@@ -610,7 +620,7 @@ class TuningCache:
             "output": np.asarray(output),
             "counters": dict(vars(counters)),
         }
-        with self._lock:
+        with obs.span("cache.put_run"), self._lock:
             if not self._survive_write():
                 return
             try:

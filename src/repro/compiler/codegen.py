@@ -1128,21 +1128,28 @@ def compile_kernel(
     absorbed by bounded in-place retries.
     """
     from repro import faultinject
+    from repro.obs import span
 
     faultinject.survive("compile")
     options = options or CompilerOptions()
     if not memo:
-        return KernelGenerator(options).compile(fun)
+        with span("compile", memo=False):
+            return KernelGenerator(options).compile(fun)
 
     from repro.ir.structural import canonical
 
-    key = (canonical(fun), options)
-    with _COMPILE_MEMO_LOCK:
-        hit = _COMPILE_MEMO.get(key)
-        if hit is not None:
-            _COMPILE_MEMO.move_to_end(key)
-            return hit
-    kernel = KernelGenerator(options).compile(fun)
+    # The span covers the memo lookup too: a hit shows up in the trace
+    # as a near-zero "compile" with memo="hit" instead of vanishing.
+    with span("compile") as compile_span:
+        key = (canonical(fun), options)
+        with _COMPILE_MEMO_LOCK:
+            hit = _COMPILE_MEMO.get(key)
+            if hit is not None:
+                _COMPILE_MEMO.move_to_end(key)
+                compile_span.attrs["memo"] = "hit"
+                return hit
+        compile_span.attrs["memo"] = "miss"
+        kernel = KernelGenerator(options).compile(fun)
     with _COMPILE_MEMO_LOCK:
         _COMPILE_MEMO[key] = kernel
         while len(_COMPILE_MEMO) > _COMPILE_MEMO_SIZE:

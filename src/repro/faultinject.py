@@ -195,7 +195,14 @@ class FaultState:
             inject = draw < rate
             if inject:
                 c.injected += 1
-            return inject, n
+        if inject:
+            # Out-of-band observability (outside the lock: the tracer
+            # and registry synchronize themselves).
+            from repro import obs
+
+            obs.instant("fault.inject", site=site, sequence=n)
+            obs.inc(f"faults.injected.{site}")
+        return inject, n
 
     def maybe_fail(self, site: str) -> None:
         """Single draw; raises :class:`FaultInjected` when it lands."""

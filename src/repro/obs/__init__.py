@@ -1,0 +1,68 @@
+"""``repro.obs`` — zero-dependency observability: tracing, metrics,
+kernel profiling.
+
+Three parts (see ``src/repro/OBSERVABILITY.md`` for the full design):
+
+* :mod:`repro.obs.trace` — nestable, thread-aware spans and instants
+  emitting Chrome ``trace_event`` JSON (``REPRO_TRACE=<path>`` or
+  ``benchsuite --trace``).
+* :mod:`repro.obs.metrics` — process-global counters/gauges/histograms
+  plus adapted views of the five existing stats objects, all merged by
+  ``snapshot()`` (``benchsuite --metrics-json``).
+* :mod:`repro.obs.profile` — per-barrier-segment timing and per-buffer
+  traffic in the compiled/fused backends (``REPRO_PROFILE=1`` or
+  ``benchsuite --profile``).
+
+This package is a *leaf*: it imports nothing from the rest of
+``repro`` at module level, so every subsystem may import it freely.
+Everything it does is out-of-band — enabling any part of it never
+changes buffers, ``Counters``, or control flow.
+"""
+
+from __future__ import annotations
+
+from . import metrics, profile, trace
+from .adapters import (
+    install_default_providers,
+    register_cache_stats,
+    register_counters,
+    register_explore,
+    register_fault_sites,
+    register_ledger,
+    register_profiler,
+)
+from .metrics import inc, observe, register_provider, set_gauge, snapshot
+from .trace import (
+    instant,
+    span,
+    start_tracing,
+    stop_tracing,
+    timed_span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "trace",
+    "metrics",
+    "profile",
+    "span",
+    "timed_span",
+    "instant",
+    "start_tracing",
+    "stop_tracing",
+    "tracing_enabled",
+    "inc",
+    "set_gauge",
+    "observe",
+    "snapshot",
+    "register_provider",
+    "register_counters",
+    "register_cache_stats",
+    "register_explore",
+    "register_ledger",
+    "register_fault_sites",
+    "register_profiler",
+    "install_default_providers",
+]
+
+install_default_providers()

@@ -1,0 +1,177 @@
+"""Process-wide metrics registry: counters, gauges, histograms, and
+adapted stats providers, all merged into one ``snapshot()`` document.
+
+The pipeline grew five telemetry islands (interp ``Counters``, cache
+``CacheStats``, explorer ``ExploreStats``, backend ``DegradationLedger``,
+resilience ``FailureReport``), each with bespoke printing.  The registry
+does not replace them — they keep their types and in-band semantics —
+it *adapts* them: each registers a provider callable returning its
+``as_dict()`` view, and :func:`snapshot` merges every provider with the
+registry's own primitives into a single JSON-serializable dict.  That
+is what ``benchsuite --metrics-json`` dumps.
+
+Snapshot layout::
+
+    {
+      "counters":   {"launch.total": 12, "launch.served.fused": 12, ...},
+      "gauges":     {...},
+      "histograms": {"explore.level_width": {"count": 3, "total": ...}},
+      "cache":      {...CacheStats...},
+      "explore":    {"stats": {...}, "failures": [...]},
+      "ledger":     {...DegradationLedger...},
+      "faults":     {"sites": {...}, "plan": ...},
+      "profile":    {...KernelProfiler...},
+      "counters.kernel": {...interp Counters of the last launch...},
+    }
+
+Providers are evaluated lazily at snapshot time; a provider that raises
+contributes ``{"error": ...}`` rather than poisoning the document.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict
+
+__all__ = [
+    "MetricsRegistry",
+    "REGISTRY",
+    "inc",
+    "set_gauge",
+    "observe",
+    "register_provider",
+    "unregister_provider",
+    "snapshot",
+    "reset",
+]
+
+#: Top-level keys owned by the registry itself; providers may not
+#: shadow them.
+_RESERVED = ("counters", "gauges", "histograms")
+
+
+class MetricsRegistry:
+    """Thread-safe named counters/gauges/histograms plus providers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        # name -> [count, total, min, max]
+        self._hists: Dict[str, list] = {}
+        self._providers: Dict[str, Callable[[], object]] = {}
+
+    # -- primitives ------------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            h = self._hists.get(name)
+            if h is None:
+                self._hists[name] = [1, value, value, value]
+            else:
+                h[0] += 1
+                h[1] += value
+                if value < h[2]:
+                    h[2] = value
+                if value > h[3]:
+                    h[3] = value
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- providers -------------------------------------------------------
+    def register_provider(
+        self, name: str, fn: Callable[[], object], replace: bool = True
+    ) -> None:
+        """Attach a stats source under the top-level key ``name``.
+
+        Re-registering under the same name replaces the previous
+        provider by default — e.g. each new :class:`~repro.cache.TuningCache`
+        owns the ``"cache"`` slot — pass ``replace=False`` to keep the
+        first registration instead."""
+        if name in _RESERVED:
+            raise ValueError(f"provider name {name!r} is reserved")
+        with self._lock:
+            if not replace and name in self._providers:
+                return
+            self._providers[name] = fn
+
+    def unregister_provider(self, name: str) -> None:
+        with self._lock:
+            self._providers.pop(name, None)
+
+    # -- snapshot --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One JSON-serializable document with everything in it."""
+        with self._lock:
+            doc: dict = {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: {
+                        "count": h[0],
+                        "total": h[1],
+                        "min": h[2],
+                        "max": h[3],
+                        "mean": h[1] / h[0],
+                    }
+                    for name, h in self._hists.items()
+                },
+            }
+            providers = list(self._providers.items())
+        for name, fn in providers:
+            try:
+                doc[name] = fn()
+            except Exception as exc:  # snapshot must never fail whole
+                doc[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return doc
+
+    def reset(self) -> None:
+        """Clear primitives and providers (tests)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+            self._providers.clear()
+
+
+#: The process-global registry used by all instrumentation.
+REGISTRY = MetricsRegistry()
+
+
+def inc(name: str, n: int = 1) -> None:
+    REGISTRY.inc(name, n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    REGISTRY.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    REGISTRY.observe(name, value)
+
+
+def register_provider(
+    name: str, fn: Callable[[], object], replace: bool = True
+) -> None:
+    REGISTRY.register_provider(name, fn, replace=replace)
+
+
+def unregister_provider(name: str) -> None:
+    REGISTRY.unregister_provider(name)
+
+
+def snapshot() -> dict:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()

@@ -65,6 +65,10 @@ class Counters:
             + self.private_loads + self.private_stores
         )
 
+    def as_dict(self) -> dict:
+        """Plain-dict view for the metrics registry (repro.obs)."""
+        return dict(self.__dict__)
+
     def merged_with(self, other: "Counters") -> "Counters":
         merged = Counters()
         merged.merge_in(self)

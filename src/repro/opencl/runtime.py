@@ -64,7 +64,15 @@ class Buffer:
 # harnesses construct :class:`OpenCLProgram` repeatedly for identical
 # kernels; the AST is immutable during execution, so sharing is safe
 # (and lets the vectorizability analysis cache per parse, too).
-_parse_cached = functools.lru_cache(maxsize=128)(parse)
+# Tracing sits inside the LRU so only genuine parses show as spans.
+def _parse_traced(source: str) -> ParsedProgram:
+    from repro.obs import span
+
+    with span("parse", chars=len(source)):
+        return parse(source)
+
+
+_parse_cached = functools.lru_cache(maxsize=128)(_parse_traced)
 
 
 class OpenCLProgram:
@@ -186,16 +194,22 @@ def launch(
         else:
             base_env[p.name] = value
 
+    from repro.obs import span
+
     chain = _resolve_engine(engine)
-    chain.execute(
-        ExecutionRequest(
-            parsed=program.parsed,
-            kernel=kernel,
-            gsize=gsize,
-            lsize=lsize,
-            base_env=base_env,
-            local_decls=_local_decls_of(program.parsed, kernel),
-            counters=counters,
+    with span(
+        "launch", kernel=kernel.name, engine=chain.name,
+        gsize=gsize, lsize=lsize,
+    ):
+        chain.execute(
+            ExecutionRequest(
+                parsed=program.parsed,
+                kernel=kernel,
+                gsize=gsize,
+                lsize=lsize,
+                base_env=base_env,
+                local_decls=_local_decls_of(program.parsed, kernel),
+                counters=counters,
+            )
         )
-    )
     return counters

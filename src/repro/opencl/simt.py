@@ -71,6 +71,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.compiler import cast as c
+from repro.obs import profile as _obs_profile
 from repro.opencl.cparser import ParsedProgram
 from repro.opencl.interp import (
     Counters,
@@ -1150,17 +1151,26 @@ class _Block:
 
     def _flush_load_log(self) -> None:
         counters = self.counters
+        prof = _obs_profile.ACTIVE
         for log in self._load_log.values():
             events, distinct = log.totals()
-            counters.cached_loads += (events - distinct) * log.width_units
+            cached = (events - distinct) * log.width_units
+            counters.cached_loads += cached
             fresh = distinct * log.width_units
             if log.space == "global":
                 counters.global_loads += fresh
             else:
                 counters.local_loads += fresh
+            if prof is not None:
+                prof.record_loads(log.array, log.space, fresh, cached)
         self._load_log.clear()
 
-    def _count_stores(self, space, count) -> None:
+    def _count_stores(self, ptr, space, count) -> None:
+        """Count ``count`` store units against ``space``.
+
+        ``ptr`` identifies the written buffer for the kernel profiler
+        (``None`` for register traffic); the in-band counters use only
+        ``space``/``count``, so profiling cannot change them."""
         counters = self.counters
         if space == "global":
             counters.global_stores += count
@@ -1168,6 +1178,8 @@ class _Block:
             counters.local_stores += count
         else:
             counters.private_stores += count
+        if _obs_profile.ACTIVE is not None and ptr is not None:
+            _obs_profile.ACTIVE.record_stores(ptr.array, space, count)
 
     def _hazard(self, ptr):
         key = id(ptr.array)
@@ -1283,7 +1295,7 @@ class _Block:
                 arr.reshape(-1)[aa] = values
             else:
                 arr.reshape(-1)[aa] = values[m]
-            self._count_stores(ptr.space, n)
+            self._count_stores(ptr, ptr.space, n)
             return
         if is_row:
             if n == self.L:
@@ -1295,7 +1307,7 @@ class _Block:
                 arr[addr] = values
             else:
                 arr[addr[m]] = values[m]
-        self._count_stores(ptr.space, n)
+        self._count_stores(ptr, ptr.space, n)
 
     def _vload(self, ptr, offset, width, m, n):
         start = ptr.offset + offset * width
@@ -1352,7 +1364,7 @@ class _Block:
             # iteration order (and therefore duplicate-address
             # resolution) matches the old repeat/ravel form.
             ptr.array[rows[:, None], idx2] = vals
-        self._count_stores(ptr.space, n * width)
+        self._count_stores(ptr, ptr.space, n * width)
 
     # -- operators -------------------------------------------------------
     def _as_bool(self, v, m) -> np.ndarray:
@@ -2037,6 +2049,13 @@ def _run_blocks(
         if isinstance(value, Pointer):
             vptr_env[name] = VPtr(value.array, value.offset, value.space)
 
+    prof = _obs_profile.ACTIVE
+    if prof is not None:
+        prof.begin_launch(kernel.name)
+        for name, value in vptr_env.items():
+            if isinstance(value, VPtr):
+                prof.map_buffer(value.array, name)
+
     for geo in geometry["blocks"]:
         n_groups = geo["n_groups"]
         group_row = geo["group_row"]
@@ -2048,6 +2067,8 @@ def _run_blocks(
             )
             local_array = np.zeros((n_groups, decl.array_size), dtype=dtype)
             env[decl.name] = RowPtr(local_array, group_row, 0, "local")
+            if prof is not None:
+                prof.map_buffer(local_array, decl.name)
             if decl.name in written:
                 if block_tracked is tracked:
                     block_tracked = set(tracked)

@@ -49,9 +49,12 @@ from __future__ import annotations
 
 import operator
 import threading
+import time
 from typing import Callable, Optional
 
 import numpy as np
+
+from repro.obs import profile as _obs_profile
 
 from repro.compiler import cast as c
 from repro.opencl.cparser import ParsedProgram
@@ -846,6 +849,8 @@ class Pipeline:
 
     def run(self, block: _Block) -> None:
         """Execute one block of work-groups through the pipeline."""
+        if _obs_profile.ACTIVE is not None:
+            return self._run_profiled(block, _obs_profile.ACTIVE)
         frame = _Frame(block.L)
         m = block._full
         n = block.L
@@ -860,6 +865,25 @@ class Pipeline:
                 if n == 0:
                     return
             segment(block, m, n, frame)
+
+    def _run_profiled(self, block: _Block, prof) -> None:
+        """:meth:`run` with a clock read around every segment.
+
+        A separate method so the unprofiled path pays exactly one
+        module-attribute check per block; execution itself is identical
+        (same closures, same frame/mask handling)."""
+        frame = _Frame(block.L)
+        m = block._full
+        n = block.L
+        for index, segment in enumerate(self.segments):
+            if self.has_returns and frame.returned_any:
+                m = m & ~frame.ret_mask
+                n = int(np.count_nonzero(m))
+                if n == 0:
+                    return
+            t0 = time.perf_counter()
+            segment(block, m, n, frame)
+            prof.record_segment(index, "compiled", time.perf_counter() - t0)
 
 
 def compile_kernel_pipeline(
@@ -962,8 +986,11 @@ def get_pipeline(
         if analyze_kernel(parsed, kernel) is not None:
             pipeline: Optional[Pipeline] = None
         else:
+            from repro.obs import span
+
             try:
-                pipeline = compile_kernel_pipeline(parsed, kernel)
+                with span("simt_compile", kernel=kernel.name):
+                    pipeline = compile_kernel_pipeline(parsed, kernel)
                 global _compile_counter
                 _compile_counter += 1
             except CompileUnsupported:

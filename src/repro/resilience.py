@@ -161,6 +161,10 @@ def run_with_deadline(
     if thread.is_alive():
         if token is not None:
             token.cancel()
+        from repro import obs
+
+        obs.instant("watchdog.kill", timeout=timeout)
+        obs.inc("resilience.watchdog_kills")
         raise DeadlineExceeded(
             f"deadline of {timeout:g}s exceeded"
         )

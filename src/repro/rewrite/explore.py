@@ -127,7 +127,7 @@ from repro.rewrite.rules import (
     vectorize_map,
 )
 from repro.rewrite.strategies import exhaustively, one_step_rewrites
-from repro import faultinject
+from repro import faultinject, obs
 from repro.resilience import (
     TRANSIENT_ERRORS,
     Cancelled,
@@ -651,35 +651,41 @@ def _enumerate(
     derivations: list = [(start, ())]
 
     token = config.cancellation
-    for _ in range(config.depth):
+    for level in range(config.depth):
         if token is not None and token.cancelled:
             # Abort at a level boundary: the derivations found so far
             # still finish/rank, so a cancelled search returns cleanly.
             stats.aborted = True
             break
         next_frontier: list = []
-        for body, trace in frontier:
-            for rule in rules:
-                # One traversal yields every single-application variant
-                # (position order matches find_matches/apply_at).
-                for position, candidate in enumerate(
-                    one_step_rewrites(rule, body)
-                ):
-                    stats.enumerated += 1
-                    key = canonical(candidate)
-                    if key in seen:
-                        stats.dedup_hits += 1
-                        continue
-                    seen.add(key)
-                    entry = (candidate, trace + (f"{rule.name}@{position}",))
-                    next_frontier.append(entry)
-                    derivations.append(entry)
+        with obs.span(
+            "explore.bfs-level", level=level, frontier=len(frontier)
+        ):
+            for body, trace in frontier:
+                for rule in rules:
+                    # One traversal yields every single-application variant
+                    # (position order matches find_matches/apply_at).
+                    for position, candidate in enumerate(
+                        one_step_rewrites(rule, body)
+                    ):
+                        stats.enumerated += 1
+                        key = canonical(candidate)
+                        if key in seen:
+                            stats.dedup_hits += 1
+                            continue
+                        seen.add(key)
+                        entry = (
+                            candidate, trace + (f"{rule.name}@{position}",)
+                        )
+                        next_frontier.append(entry)
+                        derivations.append(entry)
+                        if len(next_frontier) >= config.beam:
+                            break
                     if len(next_frontier) >= config.beam:
                         break
                 if len(next_frontier) >= config.beam:
                     break
-            if len(next_frontier) >= config.beam:
-                break
+        obs.observe("explore.level_width", len(next_frontier))
         frontier = next_frontier
         if not frontier:
             break
@@ -705,62 +711,66 @@ def explore_program(
     profile = DEVICES[config.device]
     rules = config.rule_menu()
 
-    derivations = _enumerate(high_level.body, rules, config, stats)
+    with obs.span(
+        "explore.enumerate", depth=config.depth, rules=len(rules)
+    ):
+        derivations = _enumerate(high_level.body, rules, config, stats)
 
     # -- finish, validate, dedup ----------------------------------------
-    finished: dict = {}
-    for body, trace in derivations:
-        for fin, finish_label in _finish_variants(body):
-            full_trace = trace + ((finish_label,) if finish_label else ())
-            program = clone_decl(Lambda(list(high_level.params), fin))
-            assert isinstance(program, Lambda)
-            key = canonical(program)
-            if key in finished:
-                # Distinct derivations collapsing to one schedule after the
-                # finishing lowering; kept separate from the enumeration-time
-                # dedup_hits so dedup_hit_rate stays a fraction of enumerated.
-                stats.finish_dedup_hits += 1
-                continue
-            typed = clone_decl(program)
-            assert isinstance(typed, Lambda)
-            try:
-                infer_types(typed.body)
-            except Exception:
-                stats.invalid += 1
-                continue
-            if not _nesting_ok(typed.body) or not _splits_divide(
-                typed.body, size_env
-            ):
-                stats.invalid += 1
-                continue
-            parallel = _collect_parallel(typed.body)
-            if not parallel:
-                # An all-sequential schedule "wins" under the total-work
-                # cost model (no loop strides, no barriers) but is never a
-                # useful GPU schedule; the search only ranks parallel ones.
-                stats.invalid += 1
-                continue
-            geometry = _geometry(parallel, size_env)
-            if geometry is None:
-                stats.invalid += 1
-                continue
-            local_size, global_size = geometry
-            try:
-                static_cost = static_program_cost(
-                    program, size_env, profile,
-                    local_size=local_size, global_size=global_size,
+    with obs.span("explore.finish", derivations=len(derivations)):
+        finished: dict = {}
+        for body, trace in derivations:
+            for fin, finish_label in _finish_variants(body):
+                full_trace = trace + ((finish_label,) if finish_label else ())
+                program = clone_decl(Lambda(list(high_level.params), fin))
+                assert isinstance(program, Lambda)
+                key = canonical(program)
+                if key in finished:
+                    # Distinct derivations collapsing to one schedule after the
+                    # finishing lowering; kept separate from the enumeration-time
+                    # dedup_hits so dedup_hit_rate stays a fraction of enumerated.
+                    stats.finish_dedup_hits += 1
+                    continue
+                typed = clone_decl(program)
+                assert isinstance(typed, Lambda)
+                try:
+                    infer_types(typed.body)
+                except Exception:
+                    stats.invalid += 1
+                    continue
+                if not _nesting_ok(typed.body) or not _splits_divide(
+                    typed.body, size_env
+                ):
+                    stats.invalid += 1
+                    continue
+                parallel = _collect_parallel(typed.body)
+                if not parallel:
+                    # An all-sequential schedule "wins" under the total-work
+                    # cost model (no loop strides, no barriers) but is never a
+                    # useful GPU schedule; the search only ranks parallel ones.
+                    stats.invalid += 1
+                    continue
+                geometry = _geometry(parallel, size_env)
+                if geometry is None:
+                    stats.invalid += 1
+                    continue
+                local_size, global_size = geometry
+                try:
+                    static_cost = static_program_cost(
+                        program, size_env, profile,
+                        local_size=local_size, global_size=global_size,
+                    )
+                except Exception:
+                    stats.invalid += 1
+                    continue
+                finished[key] = ExploredCandidate(
+                    label="",
+                    program=program,
+                    trace=full_trace,
+                    local_size=local_size,
+                    global_size=global_size,
+                    static_cost=static_cost,
                 )
-            except Exception:
-                stats.invalid += 1
-                continue
-            finished[key] = ExploredCandidate(
-                label="",
-                program=program,
-                trace=full_trace,
-                local_size=local_size,
-                global_size=global_size,
-                static_cost=static_cost,
-            )
     stats.finished = len(finished)
 
     # -- static prune ----------------------------------------------------
@@ -774,10 +784,13 @@ def explore_program(
         cand.label = f"#{i} {head} (depth {len(cand.trace)})"
 
     # -- reference -------------------------------------------------------
-    reference = np.asarray(
-        apply_fun(high_level, interp_args(high_level, inputs, size_env), size_env),
-        dtype=float,
-    ).ravel()
+    with obs.span("explore.reference"):
+        reference = np.asarray(
+            apply_fun(
+                high_level, interp_args(high_level, inputs, size_env), size_env
+            ),
+            dtype=float,
+        ).ravel()
 
     # -- compile, simulate, verify --------------------------------------
     from repro.cache import fingerprint_inputs
@@ -807,9 +820,10 @@ def explore_program(
             kernel = cache.get_kernel(key)
         if kernel is None:
             try:
-                kernel = compile_kernel(
-                    specialize_sizes(cand.program, size_env), options
-                )
+                with obs.span("explore.compile", candidate=cand.label):
+                    kernel = compile_kernel(
+                        specialize_sizes(cand.program, size_env), options
+                    )
             except TRANSIENT_ERRORS:
                 raise
             except (CodeGenError, pat.LiftTypeError, ValueError) as exc:
@@ -833,10 +847,11 @@ def explore_program(
                 p.name: inputs[p.name] for p in cand.program.params
             }
             try:
-                run = execute_kernel(
-                    kernel, kernel_inputs, size_env, cand.global_size,
-                    local_size=cand.local_size, engine=config.engine,
-                )
+                with obs.span("explore.simulate", candidate=cand.label):
+                    run = execute_kernel(
+                        kernel, kernel_inputs, size_env, cand.global_size,
+                        local_size=cand.local_size, engine=config.engine,
+                    )
             except (Cancelled, DeadlineExceeded):
                 raise
             except TRANSIENT_ERRORS:
@@ -847,13 +862,16 @@ def explore_program(
             if token is not None:
                 token.raise_if_cancelled()
             faultinject.survive("verify")
-            out = np.asarray(run.output, dtype=float).ravel()
-            if config.rtol is None:
-                ok = out.shape == reference.shape and np.array_equal(out, reference)
-            else:
-                ok = out.shape == reference.shape and np.allclose(
-                    out, reference, rtol=config.rtol
-                )
+            with obs.span("explore.verify", candidate=cand.label):
+                out = np.asarray(run.output, dtype=float).ravel()
+                if config.rtol is None:
+                    ok = out.shape == reference.shape and np.array_equal(
+                        out, reference
+                    )
+                else:
+                    ok = out.shape == reference.shape and np.allclose(
+                        out, reference, rtol=config.rtol
+                    )
             if not ok:
                 raise _StageFailure("verify", "result differs from reference")
             cycles = estimate_cycles(run.counters, profile)
@@ -917,6 +935,11 @@ def explore_program(
                         "infra", f"{type(exc).__name__}: {exc}", attempt
                     )
                 events["retries"] += 1
+                obs.instant(
+                    "explore.retry", candidate=cand.label, attempt=attempt,
+                    error=type(exc).__name__,
+                )
+                obs.inc("explore.retries")
                 time.sleep(delay)
                 delay = min(delay * 2, 1.0)
             except Exception as exc:  # unexpected: infra, not retried
@@ -940,7 +963,10 @@ def explore_program(
     pipelines_before = simt_compile.compile_count()
     evaluated: list = []
     failures: list = []
-    with ThreadPoolExecutor(max_workers=max(1, config.workers)) as pool:
+    with obs.span(
+        "explore.evaluate", candidates=len(survivors),
+        workers=max(1, config.workers),
+    ), ThreadPoolExecutor(max_workers=max(1, config.workers)) as pool:
         scheduled = []
         for cand in survivors:
             if search_token is not None and search_token.cancelled:
@@ -984,6 +1010,8 @@ def explore_program(
         stats.cycle_cache_misses = after.cycle_misses - cache_before.cycle_misses
 
     evaluated.sort(key=lambda c: (c.runtime, len(c.trace), c.trace))
+    # The latest search owns the metrics snapshot's "explore" slot.
+    obs.register_explore(stats, failures)
     return ExplorationResult(
         candidates=evaluated, stats=stats, failures=failures
     )
