@@ -29,6 +29,10 @@ Decline kinds:
 ``fault``
     a deterministic injected fault (:mod:`repro.faultinject`,
     site ``backend-run``) declined the backend.
+``breaker``
+    an open circuit breaker (:mod:`repro.service.breaker`) skipped the
+    backend without trying it — repeated crash/fault declines tripped
+    it and the chain degraded to the next tier pre-emptively.
 """
 
 from __future__ import annotations
@@ -53,7 +57,7 @@ __all__ = [
 #: Cap on retained individual events (counts are kept exactly beyond it).
 _MAX_EVENTS = 10_000
 
-DECLINE_KINDS = ("static", "dynamic", "crash", "fault")
+DECLINE_KINDS = ("static", "dynamic", "crash", "fault", "breaker")
 
 
 @dataclass(frozen=True)

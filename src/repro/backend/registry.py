@@ -27,10 +27,14 @@ Chain semantics (:meth:`ResolvedChain.execute`):
    behaviour of forcing ``engine="vector"`` onto an unsupported
    kernel); graceful chains end in ``scalar``, which always succeeds.
 4. Every decline — static, dynamic, an unexpected ``plan()`` crash
-   (shielded for non-final members), or an injected ``backend-run``
-   fault — is recorded in the degradation ledger
-   (:mod:`repro.backend.ledger`), so a silently-degraded run is
+   (shielded for non-final members), an injected ``backend-run``
+   fault, or an open circuit breaker — is recorded in the degradation
+   ledger (:mod:`repro.backend.ledger`), so a silently-degraded run is
    observable after the fact.
+5. When a :class:`~repro.service.breaker.BreakerBoard` is installed
+   (only ever by a running :class:`~repro.service.daemon.TuningService`),
+   non-final backends whose breaker is open are skipped pre-emptively;
+   crash/fault declines feed the breaker, served launches reset it.
 
 ``REPRO_SIM_ENGINE`` expresses a *preferred default*, not a hard
 requirement: resolving a strict engine name from the environment
@@ -139,13 +143,34 @@ class ResolvedChain:
         from repro.faultinject import FaultInjected
         from repro.obs import metrics, span
         from repro.opencl.simt import VectorizationError
+        from repro.service import breaker as breaker_mod
 
         refusals = []
         skip_classes: set = set()
         last = self.members[-1] if self.members else None
+        # The service's circuit-breaker board, when one is installed
+        # (repro.service.breaker): a backend with repeated crash/fault
+        # declines is skipped pre-emptively and re-probed after a
+        # cool-down.  One-shot CLI runs never install a board, so this
+        # is a no-op outside the service.
+        board = breaker_mod.installed()
         metrics.inc("launch.total")
         for backend in self.members:
             if backend.dynamic_class in skip_classes:
+                continue
+            if (
+                board is not None
+                and backend is not last
+                and not board.allow(backend.name)
+            ):
+                # Skipping an unhealthy tier is itself a degradation:
+                # ledgered like any other decline, and the breaker is
+                # exempt for the final member so graceful chains always
+                # complete.
+                ledger.record(
+                    self.name, backend.name, "breaker", "circuit open"
+                )
+                refusals.append(f"{backend.name}: circuit open")
                 continue
             if backend is not last:
                 # ``backend-run`` fault site: an injected fault declines
@@ -156,6 +181,8 @@ class ResolvedChain:
                 except FaultInjected as exc:
                     ledger.record(self.name, backend.name, "fault", str(exc))
                     refusals.append(f"{backend.name}: injected fault")
+                    if board is not None:
+                        board.failure(backend.name)
                     continue
             try:
                 with span("plan", backend=backend.name, engine=self.name):
@@ -176,6 +203,8 @@ class ResolvedChain:
                     self.name, backend.name, "crash",
                     f"{type(exc).__name__}: {exc}",
                 )
+                if board is not None:
+                    board.failure(backend.name)
                 if backend is last:
                     raise
                 refusals.append(
@@ -195,6 +224,11 @@ class ResolvedChain:
                 continue
             if done:
                 metrics.inc(f"launch.served.{backend.name}")
+                if board is not None:
+                    # Only health outcomes feed the breaker: a served
+                    # launch closes it; static/dynamic refusals are the
+                    # backend working as designed and count as neither.
+                    board.success(backend.name)
                 return
             ledger.record(
                 self.name, backend.name, "dynamic", "dynamic bail-out"

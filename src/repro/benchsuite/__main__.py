@@ -4,6 +4,7 @@
     python -m repro.benchsuite figure6
     python -m repro.benchsuite figure8 [--sizes small large] [--benchmarks nn gemv ...]
     python -m repro.benchsuite explore [--benchmarks nn gemv ...] [--depth 3] [--cache-dir DIR]
+    python -m repro.benchsuite hammer [--clients 8] [--requests-per-client 6] [--fault-plan 'seed=11;rate=0.05']
     python -m repro.benchsuite all
 """
 
@@ -20,7 +21,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "figure6", "figure8", "explore", "all"],
+        choices=["table1", "figure6", "figure8", "explore", "hammer", "all"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -57,6 +58,19 @@ def main(argv=None) -> int:
         help="execution backend for figure8/explore launches (any name "
              "registered in repro.backend: auto, fused, compiled, interp, "
              "scalar, ...)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent client threads for the hammer service soak",
+    )
+    parser.add_argument(
+        "--requests-per-client", type=int, default=6,
+        help="seeded mixed warm/cold requests each hammer client issues",
+    )
+    parser.add_argument(
+        "--journal-dir", default=None,
+        help="recovery-journal directory for the hammer's service "
+             "(default: a fresh temporary directory)",
     )
     parser.add_argument(
         "--fault-plan", default=None,
@@ -132,6 +146,22 @@ def main(argv=None) -> int:
             _print_cache_recoveries(s)
     _print_resilience_summary()
 
+    status = 0
+    if args.experiment == "hammer":
+        from repro.benchsuite.hammer import format_hammer, run_hammer
+
+        report = run_hammer(
+            clients=args.clients,
+            requests_per_client=args.requests_per_client,
+            cache_dir=args.cache_dir,
+            journal_dir=args.journal_dir,
+            engine=args.engine,
+        )
+        print(format_hammer(report))
+        _print_resilience_summary()
+        if not report["ok"]:
+            status = 1
+
     if args.experiment == "explore":
         from repro.benchsuite.explore import format_explore, run_explore
 
@@ -161,7 +191,7 @@ def main(argv=None) -> int:
         if path is not None:
             print(f"[trace written to {path}]", file=sys.stderr)
 
-    return 0
+    return status
 
 
 def _print_cache_recoveries(stats) -> None:

@@ -20,6 +20,9 @@ Fault checks are placed at named **injection sites**:
 ``simulate``              entry of :func:`repro.opencl.runtime.launch`
 ``verify``                the explorer's bitwise verification stage
 ``backend-run``           before each non-final backend of a fallback chain
+``service-admit``         :meth:`repro.service.TuningService` request admission
+``service-journal``       recovery-journal writes (:mod:`repro.service.journal`)
+``service-worker``        top of each service worker's request processing
 ========================  ====================================================
 
 All sites except ``backend-run`` sit *before* any observable side
@@ -28,7 +31,12 @@ times (:func:`survive`) — is exact: an injected-and-recovered fault
 changes timing only, never results.  ``backend-run`` faults instead
 *decline* the backend so the fallback chain (and its degradation
 ledger, :mod:`repro.backend.ledger`) is exercised; the final chain
-member is exempt, so a graceful chain still completes.
+member is exempt, so a graceful chain still completes.  The three
+``service-*`` sites follow the pre-side-effect rule: an escape at
+``service-admit`` rejects the request (the client's retry is the
+recovery), at ``service-journal`` falls back to unjournaled execution
+(the request loses crash recovery, never correctness), and at
+``service-worker`` re-enters the worker's own retry loop.
 
 Configuration
 -------------
@@ -76,6 +84,9 @@ SITES = (
     "simulate",
     "verify",
     "backend-run",
+    "service-admit",
+    "service-journal",
+    "service-worker",
 )
 
 

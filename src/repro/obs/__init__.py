@@ -30,6 +30,7 @@ from .adapters import (
     register_fault_sites,
     register_ledger,
     register_profiler,
+    register_service,
 )
 from .metrics import inc, observe, register_provider, set_gauge, snapshot
 from .trace import (
@@ -62,6 +63,7 @@ __all__ = [
     "register_ledger",
     "register_fault_sites",
     "register_profiler",
+    "register_service",
     "install_default_providers",
 ]
 

@@ -15,6 +15,7 @@ object                           registered by       snapshot key
 ``obs.profile`` profiler         default providers   ``profile``
 ``opencl.interp.Counters``       ``figure8`` runner  ``counters.kernel``
 ``resilience.FailureReport``     explorer failures   ``explore.failures``
+``service.TuningService``        the service itself  ``service``
 ===============================  ==================  ==================
 
 No module-level imports of the instrumented packages: adapters import
@@ -33,6 +34,7 @@ __all__ = [
     "register_ledger",
     "register_fault_sites",
     "register_profiler",
+    "register_service",
     "install_default_providers",
 ]
 
@@ -110,6 +112,12 @@ def register_profiler() -> None:
     metrics.register_provider("profile", profile.as_dict)
 
 
+def register_service(view) -> None:
+    """Expose a :class:`~repro.service.daemon.TuningService` view
+    (stats, queue depth/capacity, breaker states, journal backlog)."""
+    metrics.register_provider("service", view)
+
+
 def install_default_providers() -> None:
     """Register the providers that always have a process-global source.
 
@@ -126,4 +134,7 @@ def install_default_providers() -> None:
         "explore",
         lambda: {"stats": {}, "failures": []},
         replace=False,
+    )
+    metrics.register_provider(
+        "service", lambda: {"active": False}, replace=False
     )

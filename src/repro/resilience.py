@@ -9,8 +9,13 @@ deadlines apply) lives with the callers — see
 
 * :class:`RetryPolicy` — bounded retries with exponential backoff for
   *transient* errors (:data:`TRANSIENT_ERRORS`: injected faults,
-  :class:`TransientError`, ``OSError``).  Deterministic: no jitter, so
-  a seeded fault plan replays identically.
+  :class:`TransientError`, ``OSError``).  Deterministic even with
+  jitter: the spread is a pure function of ``(key, attempt)``
+  (:func:`deterministic_jitter`), so N concurrent clients retrying the
+  same failure desynchronize without losing replayability.
+* :class:`Deadline` — an absolute wall-clock budget that *propagates*:
+  every stage bounds its own timeout by :meth:`Deadline.clamp`, so a
+  request admitted near its deadline cannot run a full-length stage.
 * :class:`CancellationToken` — cooperative cancellation, checked at
   stage boundaries; supports parent/child chaining so a per-attempt
   deadline can cancel one attempt without aborting the whole search.
@@ -25,6 +30,7 @@ deadlines apply) lives with the callers — see
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass
@@ -37,10 +43,12 @@ __all__ = [
     "FAILURE_KINDS",
     "Cancelled",
     "CancellationToken",
+    "Deadline",
     "DeadlineExceeded",
     "FailureReport",
     "RetryPolicy",
     "TransientError",
+    "deterministic_jitter",
     "run_with_deadline",
 ]
 
@@ -63,19 +71,48 @@ class DeadlineExceeded(Exception):
 TRANSIENT_ERRORS: Tuple[type, ...] = (FaultInjected, TransientError, OSError)
 
 
+def deterministic_jitter(key: str, attempt: int, spread: float) -> float:
+    """Backoff multiplier in ``[1 - spread, 1 + spread]``, a pure
+    function of ``(key, attempt)``.
+
+    Seeding the jitter by a stable per-request key (request id,
+    candidate label) desynchronizes N concurrent clients retrying the
+    same failed work — no thundering herd on the worker pool — while a
+    rerun with the same keys replays the exact same delay sequence.
+    """
+    if spread <= 0.0:
+        return 1.0
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return 1.0 + spread * (2.0 * draw - 1.0)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retries with exponential backoff (no jitter: replayable)."""
+    """Bounded retries with exponential backoff.
+
+    Replayable even with jitter: the spread is keyed, never random —
+    pass a stable per-request ``key`` to :meth:`delays`/:meth:`call`
+    and the delay sequence is a pure function of the policy and the
+    key.  With no key (or ``jitter=0``) delays are the bare
+    exponential sequence.
+    """
 
     attempts: int = 3
     base_delay: float = 0.02
     multiplier: float = 2.0
     max_delay: float = 0.5
+    #: Jitter spread as a fraction of each delay (0.25 = +-25%),
+    #: applied only when a ``key`` seeds it.
+    jitter: float = 0.0
 
-    def delays(self) -> Iterator[float]:
+    def delays(self, key: Optional[str] = None) -> Iterator[float]:
         delay = self.base_delay
-        for _ in range(max(0, self.attempts - 1)):
-            yield min(delay, self.max_delay)
+        for attempt in range(max(0, self.attempts - 1)):
+            step = min(delay, self.max_delay)
+            if key is not None:
+                step *= deterministic_jitter(key, attempt, self.jitter)
+            yield step
             delay *= self.multiplier
 
     def call(
@@ -84,10 +121,11 @@ class RetryPolicy:
         retry_on: Tuple[type, ...] = TRANSIENT_ERRORS,
         on_retry: Optional[Callable[[int, BaseException], None]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        key: Optional[str] = None,
     ):
         """Call ``fn``, retrying transient failures; re-raises the last
         error once the attempt budget is spent."""
-        delays = self.delays()
+        delays = self.delays(key)
         for attempt in range(1, max(1, self.attempts) + 1):
             try:
                 return fn()
@@ -98,6 +136,37 @@ class RetryPolicy:
                 if on_retry is not None:
                     on_retry(attempt, exc)
                 sleep(delay)
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute wall-clock budget (``time.monotonic`` timestamp).
+
+    The point is *propagation*: a deadline is set once at the request
+    boundary and every downstream stage bounds its own timeout by
+    :meth:`clamp`, so the remaining budget — not each stage's full
+    configured timeout — limits the work.  A request admitted 50ms
+    before its deadline gets a 50ms candidate watchdog, not a
+    full-length one.
+    """
+
+    expires_at: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        return cls(time.monotonic() + seconds)
+
+    def remaining(self) -> float:
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def clamp(self, timeout: Optional[float]) -> float:
+        """Effective stage budget: remaining time, capped by ``timeout``."""
+        rem = max(0.0, self.remaining())
+        return rem if timeout is None else min(timeout, rem)
 
 
 class CancellationToken:

@@ -132,8 +132,10 @@ from repro.resilience import (
     TRANSIENT_ERRORS,
     Cancelled,
     CancellationToken,
+    Deadline,
     DeadlineExceeded,
     FailureReport,
+    deterministic_jitter,
     run_with_deadline,
 )
 
@@ -180,6 +182,17 @@ class ExploreConfig:
     retries: int = 2
     #: Initial backoff delay between retries (doubles per attempt).
     retry_backoff: float = 0.02
+    #: Jitter spread on the retry backoff, seeded by the candidate label
+    #: (:func:`repro.resilience.deterministic_jitter`): concurrent
+    #: retries desynchronize, reruns replay identically.  0 disables.
+    retry_jitter: float = 0.0
+    #: The *request's* remaining wall-clock budget (set by the tuning
+    #: service).  It propagates: each candidate attempt's watchdog is
+    #: clamped to ``min(candidate_timeout, deadline.remaining())`` — a
+    #: search admitted 50ms before its deadline runs 50ms attempts, not
+    #: full-length ones — and enumeration stops at the next level
+    #: boundary once the budget is spent.
+    deadline: Optional[Deadline] = None
     #: Cooperative cancellation: cancel() aborts the search at the next
     #: stage boundary; partial results are still ranked and returned.
     cancellation: Optional[CancellationToken] = None
@@ -652,9 +665,11 @@ def _enumerate(
 
     token = config.cancellation
     for level in range(config.depth):
-        if token is not None and token.cancelled:
+        expired = config.deadline is not None and config.deadline.expired
+        if (token is not None and token.cancelled) or expired:
             # Abort at a level boundary: the derivations found so far
-            # still finish/rank, so a cancelled search returns cleanly.
+            # still finish/rank, so a cancelled or out-of-budget search
+            # returns cleanly.
             stats.aborted = True
             break
         next_frontier: list = []
@@ -911,13 +926,23 @@ def explore_program(
                 search_token.child() if search_token is not None
                 else CancellationToken()
             )
+            # The stage budget is the *remaining* request deadline
+            # clamped by the per-candidate watchdog, never the full
+            # candidate_timeout (deadline propagation).
+            timeout = config.candidate_timeout
+            if config.deadline is not None:
+                if config.deadline.expired:
+                    return fail(
+                        "timeout", "request deadline exhausted", attempt
+                    )
+                timeout = config.deadline.clamp(config.candidate_timeout)
             try:
                 if search_token is not None:
                     search_token.raise_if_cancelled()
-                if config.candidate_timeout is not None:
+                if timeout is not None:
                     result = run_with_deadline(
                         lambda: _evaluate_once(cand, events, attempt_token),
-                        config.candidate_timeout,
+                        timeout,
                         token=attempt_token,
                     )
                 else:
@@ -940,7 +965,12 @@ def explore_program(
                     error=type(exc).__name__,
                 )
                 obs.inc("explore.retries")
-                time.sleep(delay)
+                time.sleep(
+                    delay
+                    * deterministic_jitter(
+                        cand.label, attempt, config.retry_jitter
+                    )
+                )
                 delay = min(delay * 2, 1.0)
             except Exception as exc:  # unexpected: infra, not retried
                 return fail(

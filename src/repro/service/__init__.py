@@ -1,0 +1,50 @@
+"""``repro.service`` — the crash-tolerant autotuning daemon layer.
+
+Four modules, one contract (every result bitwise-identical to the
+one-shot CLI path, under concurrency and injected faults):
+
+* :mod:`~repro.service.daemon` — :class:`TuningService`: workers,
+  warm-hit bypass, single-flight coalescing, deadlines, drain,
+  recovery.
+* :mod:`~repro.service.admission` — bounded queue with explicit
+  backpressure (:class:`ServiceOverloaded`) and the response promise.
+* :mod:`~repro.service.breaker` — per-backend circuit breakers
+  consulted by the backend fallback chains while a service runs.
+* :mod:`~repro.service.journal` — write-ahead recovery journal; a
+  killed service's orphaned requests are re-enqueued, never lost.
+
+Design document: ``src/repro/SERVICE.md``.
+"""
+
+from repro.service.admission import (
+    AdmissionQueue,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceRequest,
+    ServiceResponse,
+)
+from repro.service.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
+    board_installed,
+)
+from repro.service.daemon import ServiceConfig, ServiceStats, TuningService
+from repro.service.journal import JournalEntry, RecoveryJournal
+
+__all__ = [
+    "AdmissionQueue",
+    "BreakerBoard",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "JournalEntry",
+    "RecoveryJournal",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceStats",
+    "TuningService",
+    "board_installed",
+]

@@ -1,0 +1,194 @@
+"""Admission control: bounded queueing with explicit backpressure.
+
+A long-lived service that buffers without bound does not degrade, it
+*lies* — latency grows until every client times out at once.  The
+admission queue therefore has a hard capacity: a submit against a full
+queue raises :class:`ServiceOverloaded` immediately (counted, traced as
+a ``service.reject`` instant) and the client decides — retry with
+backoff, lower the load, or give up.  Warm cache hits never enter the
+queue at all (:meth:`~repro.service.daemon.TuningService.submit_run`
+serves them synchronously), so backpressure applies exactly to the
+work that is actually expensive: cold explorations and compiles.
+
+:class:`ServiceResponse` is the client-side future — a tiny
+event-based promise (no ``concurrent.futures`` executor semantics:
+workers complete it explicitly, drain cancels it explicitly).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro import obs
+from repro.resilience import CancellationToken, Deadline
+
+__all__ = [
+    "AdmissionQueue",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "ServiceRequest",
+    "ServiceResponse",
+]
+
+
+class ServiceOverloaded(Exception):
+    """The bounded queue is full — explicit backpressure, not buffering."""
+
+
+class ServiceClosed(Exception):
+    """The service is draining or stopped; admission is closed."""
+
+
+class ServiceResponse:
+    """A minimal thread-safe promise for one request's outcome."""
+
+    def __init__(self, request_id: str):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    # -- producer side -------------------------------------------------
+    def complete(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    # -- consumer side -------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def ok(self) -> bool:
+        return self._event.is_set() and self._error is None
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not done after {timeout:g}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+@dataclass
+class ServiceRequest:
+    """One admitted unit of work moving through the service."""
+
+    id: str
+    kind: str  # "run" | "tune"
+    #: Content identity used for warm probes and single-flight
+    #: coalescing (run key / tune key).
+    key: str
+    #: Executes the work; called on a worker thread.
+    work: Callable[["ServiceRequest"], Any]
+    response: ServiceResponse
+    token: CancellationToken
+    deadline: Optional[Deadline] = None
+    #: JSON-able description a resolver can rebuild the request from
+    #: (journaled for crash recovery); ``None`` = not recoverable.
+    spec: Optional[dict] = None
+    structural_hash: str = ""
+    #: Whether a journal entry exists for this request (and must be
+    #: committed on completion).
+    journaled: bool = False
+    #: Duplicate concurrent submissions coalesced onto this request.
+    followers: List[ServiceResponse] = field(default_factory=list)
+
+    def complete(self, value: Any) -> None:
+        self.response.complete(value)
+        for follower in self.followers:
+            follower.complete(value)
+
+    def fail(self, error: BaseException) -> None:
+        self.response.fail(error)
+        for follower in self.followers:
+            follower.fail(error)
+
+
+class AdmissionQueue:
+    """Bounded FIFO with reject-on-full semantics and a depth gauge."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._items: deque = deque()
+        self._closed = False
+        self._paused = False
+
+    def _set_depth_locked(self) -> None:
+        obs.set_gauge("service.queue_depth", len(self._items))
+
+    def submit(self, request: ServiceRequest) -> None:
+        """Admit or reject; never blocks the client."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is draining; admission closed")
+            if len(self._items) >= self.capacity:
+                raise ServiceOverloaded(
+                    f"queue full ({self.capacity} requests); retry later"
+                )
+            self._items.append(request)
+            self._set_depth_locked()
+            self._not_empty.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[ServiceRequest]:
+        """Next request for a worker; ``None`` on timeout, while the
+        queue is paused, or when it is closed and drained."""
+        with self._not_empty:
+            if self._paused or not self._items:
+                if self._closed and not self._paused and not self._items:
+                    return None
+                self._not_empty.wait(timeout)
+            if self._paused or not self._items:
+                return None
+            request = self._items.popleft()
+            self._set_depth_locked()
+            return request
+
+    def set_paused(self, paused: bool) -> None:
+        """While paused, workers pop nothing — queued requests stay put
+        (deterministic tests of coalescing, backpressure and drain)."""
+        with self._lock:
+            self._paused = paused
+            self._not_empty.notify_all()
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def close(self) -> None:
+        """Stop admission; pending items stay poppable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def drain_pending(self) -> List[ServiceRequest]:
+        """Remove and return everything still queued (shutdown path:
+        the caller cancels each and commits its journal entry)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self._set_depth_locked()
+            self._not_empty.notify_all()
+            return items

@@ -1,0 +1,243 @@
+"""Per-backend circuit breakers for the service's fallback chains.
+
+A fallback chain already recovers from a crashing backend — but it
+recovers by *crashing into it again* on every launch: the chain pays
+the failed ``plan()``/injected-fault cost each time before degrading.
+Under a service that sees thousands of launches, a persistently broken
+tier should be skipped pre-emptively and re-probed occasionally, not
+re-crashed per request.  That is the classic circuit-breaker state
+machine, per backend name:
+
+* **closed** — healthy; launches flow through.  ``failure_threshold``
+  *consecutive* health failures (crash declines, injected faults — not
+  static capability refusals or dynamic bail-outs, which are the
+  backend working as designed) trip it open.
+* **open** — the chain skips the backend without trying it, recording
+  a ``breaker`` decline in the :mod:`degradation ledger
+  <repro.backend.ledger>`; after ``reset_timeout`` seconds the breaker
+  moves to half-open.
+* **half-open** — up to ``half_open_probes`` launches are let through
+  as probes.  A probe success closes the breaker (the tier is
+  restored); a probe failure reopens it for another ``reset_timeout``.
+
+The board is **opt-in and process-global**: :func:`install` (done by a
+running :class:`~repro.service.daemon.TuningService`) makes
+:meth:`~repro.backend.registry.ResolvedChain.execute` consult it; the
+one-shot CLI paths never install one, so their behaviour is untouched.
+The final member of a chain is always exempt — a graceful chain must
+complete even with every breaker open.
+
+Breakers change only *which tier serves a launch*, never its results:
+every backend obeys the bitwise contract, so a breaker-degraded run
+returns identical buffers and counters (and the ledger records that it
+degraded).
+
+State transitions emit ``service.breaker.open`` / ``.close`` /
+``.half_open`` trace instants and bump matching counters;
+:meth:`BreakerBoard.snapshot` feeds the ``service`` section of the
+metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro import obs
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "board_installed",
+    "install",
+    "installed",
+]
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/reset policy shared by every breaker of a board."""
+
+    #: Consecutive health failures that trip a closed breaker open.
+    failure_threshold: int = 3
+    #: Seconds an open breaker rejects before allowing half-open probes.
+    reset_timeout: float = 0.25
+    #: Concurrent probe launches admitted while half-open.
+    half_open_probes: int = 1
+
+
+class CircuitBreaker:
+    """The three-state health gate for one backend (thread-safe)."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes = 0
+        self.opens = 0
+        self.closes = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._refresh_locked()
+
+    def _refresh_locked(self) -> str:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.config.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probes = 0
+            obs.instant("service.breaker.half_open", backend=self.name)
+        return self._state
+
+    def allow(self) -> bool:
+        """May a launch try this backend right now?"""
+        with self._lock:
+            state = self._refresh_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and self._probes < self.config.half_open_probes:
+                self._probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            was = self._refresh_locked()
+            self._state = CLOSED
+            self._failures = 0
+            self._probes = 0
+            if was != CLOSED:
+                self.closes += 1
+        if was != CLOSED:
+            obs.instant("service.breaker.close", backend=self.name)
+            obs.inc("service.breaker.closes")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._refresh_locked()
+            self._failures += 1
+            tripped = state == HALF_OPEN or (
+                state == CLOSED
+                and self._failures >= self.config.failure_threshold
+            )
+            if tripped:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probes = 0
+                self.opens += 1
+        if tripped:
+            obs.instant(
+                "service.breaker.open",
+                backend=self.name,
+                failures=self._failures,
+            )
+            obs.inc("service.breaker.opens")
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            state = self._refresh_locked()
+            return {
+                "state": state,
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+                "closes": self.closes,
+            }
+
+
+class BreakerBoard:
+    """One breaker per backend name, created lazily, shared config."""
+
+    def __init__(
+        self,
+        config: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, backend: str) -> CircuitBreaker:
+        with self._lock:
+            b = self._breakers.get(backend)
+            if b is None:
+                b = CircuitBreaker(backend, self.config, self._clock)
+                self._breakers[backend] = b
+            return b
+
+    def allow(self, backend: str) -> bool:
+        return self.breaker(backend).allow()
+
+    def success(self, backend: str) -> None:
+        self.breaker(backend).record_success()
+
+    def failure(self, backend: str) -> None:
+        self.breaker(backend).record_failure()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            names = list(self._breakers)
+        return {name: self.breaker(name).as_dict() for name in sorted(names)}
+
+    def open_count(self) -> int:
+        return sum(
+            1 for b in self.snapshot().values() if b["state"] != CLOSED
+        )
+
+
+# ---------------------------------------------------------------------------
+# process-global installation (consulted by ResolvedChain.execute)
+# ---------------------------------------------------------------------------
+
+_installed: Optional[BreakerBoard] = None
+_install_lock = threading.Lock()
+
+
+def install(board: Optional[BreakerBoard]) -> None:
+    """Make ``board`` the chain-consulted breaker board (``None``
+    uninstalls).  Done by a starting/stopping ``TuningService``."""
+    global _installed
+    with _install_lock:
+        _installed = board
+
+
+def installed() -> Optional[BreakerBoard]:
+    return _installed
+
+
+class board_installed:
+    """Context manager: install a board, restore the previous one on
+    exit (tests and short-lived services)."""
+
+    def __init__(self, board: Optional[BreakerBoard]):
+        self._board = board
+        self._saved: Optional[BreakerBoard] = None
+
+    def __enter__(self) -> Optional[BreakerBoard]:
+        global _installed
+        with _install_lock:
+            self._saved = _installed
+            _installed = self._board
+        return self._board
+
+    def __exit__(self, *exc) -> None:
+        global _installed
+        with _install_lock:
+            _installed = self._saved
