@@ -190,6 +190,12 @@ class ResolvedChain:
             except CompileUnsupported as exc:
                 ledger.record(self.name, backend.name, "static", str(exc))
                 refusals.append(f"{backend.name}: {exc}")
+                if board is not None and backend is not last:
+                    # A static refusal is no health verdict: give back
+                    # the half-open probe slot allow() may have taken
+                    # (final members never take one), or the breaker
+                    # could stay half-open forever.
+                    board.release(backend.name)
                 continue
             except Exception as exc:
                 # Crash shield: an unexpected bug in a backend's plan()
@@ -221,6 +227,8 @@ class ResolvedChain:
                 # Launch-shape refusal before any buffer was touched.
                 ledger.record(self.name, backend.name, "static", str(exc))
                 refusals.append(f"{backend.name}: {exc}")
+                if board is not None and backend is not last:
+                    board.release(backend.name)  # no verdict: free probe
                 continue
             if done:
                 metrics.inc(f"launch.served.{backend.name}")
@@ -234,6 +242,8 @@ class ResolvedChain:
                 self.name, backend.name, "dynamic", "dynamic bail-out"
             )
             refusals.append(f"{backend.name}: dynamic bail-out")
+            if board is not None and backend is not last:
+                board.release(backend.name)  # no verdict: free probe
             skip_classes.add(backend.dynamic_class)
         detail = "; ".join(refusals) or "empty backend chain"
         kind = "strict engine" if self.strict else "engine"

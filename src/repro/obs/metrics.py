@@ -31,7 +31,7 @@ contributes ``{"error": ...}`` rather than poisoning the document.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 __all__ = [
     "MetricsRegistry",
@@ -41,6 +41,7 @@ __all__ = [
     "observe",
     "register_provider",
     "unregister_provider",
+    "provider",
     "snapshot",
     "reset",
 ]
@@ -108,6 +109,12 @@ class MetricsRegistry:
         with self._lock:
             self._providers.pop(name, None)
 
+    def provider(self, name: str) -> Optional[Callable[[], object]]:
+        """The currently registered source for ``name`` (``None`` when
+        unregistered) — lets a replacing owner save and restore it."""
+        with self._lock:
+            return self._providers.get(name)
+
     # -- snapshot --------------------------------------------------------
     def snapshot(self) -> dict:
         """One JSON-serializable document with everything in it."""
@@ -167,6 +174,10 @@ def register_provider(
 
 def unregister_provider(name: str) -> None:
     REGISTRY.unregister_provider(name)
+
+
+def provider(name: str) -> Optional[Callable[[], object]]:
+    return REGISTRY.provider(name)
 
 
 def snapshot() -> dict:

@@ -19,6 +19,12 @@ machine, per backend name:
 * **half-open** — up to ``half_open_probes`` launches are let through
   as probes.  A probe success closes the breaker (the tier is
   restored); a probe failure reopens it for another ``reset_timeout``.
+  A probe that ends in *neither* verdict (a static capability refusal
+  or dynamic bail-out — the backend working as designed) releases its
+  slot (:meth:`CircuitBreaker.release_probe`) so the next launch can
+  probe again; as a backstop, probe slots held longer than
+  ``reset_timeout`` without any verdict are reclaimed, so a lost probe
+  can never wedge the breaker half-open forever.
 
 The board is **opt-in and process-global**: :func:`install` (done by a
 running :class:`~repro.service.daemon.TuningService`) makes
@@ -88,6 +94,7 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at = 0.0
         self._probes = 0
+        self._half_open_at = 0.0
         self.opens = 0
         self.closes = 0
 
@@ -103,7 +110,19 @@ class CircuitBreaker:
         ):
             self._state = HALF_OPEN
             self._probes = 0
+            self._half_open_at = self._clock()
             obs.instant("service.breaker.half_open", backend=self.name)
+        elif (
+            self._state == HALF_OPEN
+            and self._probes > 0
+            and self._clock() - self._half_open_at >= self.config.reset_timeout
+        ):
+            # Backstop: a probe slot consumed by allow() whose launch
+            # never reported a verdict (lost, or a no-verdict path that
+            # missed release_probe()) would otherwise wedge the breaker
+            # half-open forever.  Reclaim stale slots after a cool-down.
+            self._probes = 0
+            self._half_open_at = self._clock()
         return self._state
 
     def allow(self) -> bool:
@@ -116,6 +135,16 @@ class CircuitBreaker:
                 self._probes += 1
                 return True
             return False
+
+    def release_probe(self) -> None:
+        """Give back a half-open probe slot whose launch ended with no
+        health verdict (static refusal / dynamic bail-out — the backend
+        working as designed, neither success nor failure).  No-op when
+        not half-open (closed launches consume no slot)."""
+        with self._lock:
+            if self._state == HALF_OPEN and self._probes > 0:
+                self._probes -= 1
+                self._half_open_at = self._clock()
 
     def record_success(self) -> None:
         with self._lock:
@@ -190,6 +219,9 @@ class BreakerBoard:
 
     def failure(self, backend: str) -> None:
         self.breaker(backend).record_failure()
+
+    def release(self, backend: str) -> None:
+        self.breaker(backend).release_probe()
 
     def snapshot(self) -> dict:
         with self._lock:

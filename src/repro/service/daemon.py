@@ -55,6 +55,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro import faultinject, obs
+from repro.obs import metrics as obs_metrics
 from repro.cache import TuningCache, fingerprint_inputs
 from repro.compiler.codegen import compile_kernel
 from repro.compiler.kernel import execute_kernel
@@ -142,8 +143,18 @@ class ServiceStats:
     #: Queued requests cancelled by drain.
     drained: int = 0
 
+    def __post_init__(self) -> None:
+        # Counters are bumped from worker *and* submitter threads; a
+        # bare ``+=`` would lose increments under contention.
+        self._lock = threading.Lock()
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
     def as_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        with self._lock:
+            return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class TuningService:
@@ -186,6 +197,9 @@ class TuningService:
         ]
         for thread in self._workers:
             thread.start()
+        # Mirror the breaker-board install: remember whatever served the
+        # ``service`` metrics slot so shutdown() can put it back.
+        self._prev_metrics_view = obs_metrics.provider("service")
         obs.register_service(self._metrics_view)
 
     # ------------------------------------------------------------------
@@ -366,7 +380,7 @@ class TuningService:
         return hashlib.sha256("\n".join(tokens).encode()).hexdigest()
 
     def _reject(self, reason: str, exc: Exception):
-        self.stats.rejects += 1
+        self.stats.bump("rejects")
         obs.instant("service.reject", reason=reason)
         obs.inc("service.rejects")
         raise exc
@@ -404,7 +418,7 @@ class TuningService:
             if warm_probe is not None:
                 hit = warm_probe()
                 if hit is not None:
-                    self.stats.warm_hits += 1
+                    self.stats.bump("warm_hits")
                     obs.inc("service.warm_hits")
                     if recover_entry is not None and self._journal is not None:
                         # The orphan's work finished (cached) before the
@@ -441,7 +455,7 @@ class TuningService:
                 if primary is not None:
                     follower = ServiceResponse(request_id)
                     primary.followers.append(follower)
-                    self.stats.coalesced += 1
+                    self.stats.bump("coalesced")
                     obs.inc("service.coalesced")
                     if recover_entry is not None and self._journal is not None:
                         # An identical request is already in flight; the
@@ -467,12 +481,19 @@ class TuningService:
             except (ServiceOverloaded, ServiceClosed) as exc:
                 with self._lock:
                     self._inflight.pop(key, None)
-                if request.journaled and self._journal is not None:
+                # Only commit (unlink) an entry this submit created: a
+                # rejected *recovery* re-enqueue must leave the orphan
+                # on disk so a later recover() can replay it.
+                if (
+                    recover_entry is None
+                    and request.journaled
+                    and self._journal is not None
+                ):
                     self._journal.commit(request.id)
                 if isinstance(exc, ServiceOverloaded):
                     self._reject("overloaded", exc)
                 raise
-            self.stats.admits += 1
+            self.stats.bump("admits")
             obs.inc("service.admits")
             return request.response
 
@@ -517,11 +538,11 @@ class TuningService:
     def _process(self, request: ServiceRequest) -> None:
         with obs.span("service.execute", kind=request.kind, id=request.id):
             if request.token.cancelled:
-                self.stats.cancelled += 1
+                self.stats.bump("cancelled")
                 self._finish(request, error=Cancelled("request cancelled"))
                 return
             if request.deadline is not None and request.deadline.expired:
-                self.stats.timeouts += 1
+                self.stats.bump("timeouts")
                 obs.inc("service.timeouts")
                 self._finish(
                     request,
@@ -546,7 +567,7 @@ class TuningService:
                 return request.work(request)
 
             def on_retry(attempt_no: int, exc: BaseException) -> None:
-                self.stats.retries += 1
+                self.stats.bump("retries")
                 obs.inc("service.worker_retries")
                 obs.instant(
                     "service.retry", id=request.id, attempt=attempt_no,
@@ -556,22 +577,22 @@ class TuningService:
             try:
                 value = policy.call(attempt, on_retry=on_retry, key=request.id)
             except Cancelled as exc:
-                self.stats.cancelled += 1
+                self.stats.bump("cancelled")
                 self._finish(request, error=exc)
             except DeadlineExceeded as exc:
-                self.stats.timeouts += 1
+                self.stats.bump("timeouts")
                 obs.inc("service.timeouts")
                 self._finish(request, error=exc)
             except TRANSIENT_ERRORS as exc:
-                self.stats.infra_failures += 1
+                self.stats.bump("infra_failures")
                 obs.inc("service.infra_failures")
                 self._finish(request, error=exc)
             except Exception as exc:
-                self.stats.failed += 1
+                self.stats.bump("failed")
                 obs.inc("service.failures")
                 self._finish(request, error=exc)
             else:
-                self.stats.completed += 1
+                self.stats.bump("completed")
                 obs.inc("service.completed")
                 self._finish(request, value=value)
 
@@ -654,7 +675,7 @@ class TuningService:
                 except Exception:
                     rebuilt = None
             if rebuilt is None:
-                self.stats.unrecoverable += 1
+                self.stats.bump("unrecoverable")
                 obs.inc("service.journal.unrecoverable")
                 self._journal.quarantine(entry.request_id)
                 continue
@@ -670,7 +691,7 @@ class TuningService:
                 # and a later recover() picks it up.
                 continue
             replayed += 1
-            self.stats.replayed += 1
+            self.stats.bump("replayed")
             obs.instant(
                 "service.journal.replay", id=entry.request_id,
                 kind=entry.kind,
@@ -692,8 +713,8 @@ class TuningService:
             self._queue.close()
             for request in self._queue.drain_pending():
                 request.token.cancel()
-                self.stats.drained += 1
-                self.stats.cancelled += 1
+                self.stats.bump("drained")
+                self.stats.bump("cancelled")
                 obs.inc("service.drained")
                 self._finish(
                     request, error=Cancelled("service draining")
@@ -720,7 +741,8 @@ class TuningService:
             return clean
 
     def shutdown(self, timeout: Optional[float] = None) -> bool:
-        """Drain, stop the workers, uninstall the breaker board."""
+        """Drain, stop the workers, uninstall the breaker board and the
+        metrics view."""
         if not self._active:
             return True
         self.resume()  # paused workers must run to exit
@@ -729,4 +751,10 @@ class TuningService:
             thread.join(timeout=1.0)
         self._active = False
         breaker_mod.install(self._prev_board)
+        # Mirror the breaker-board uninstall for the metrics provider:
+        # a stopped service must not keep serving its stale view in the
+        # snapshot (nor leave a prior service's view clobbered).
+        obs.register_service(
+            self._prev_metrics_view or (lambda: {"active": False})
+        )
         return clean

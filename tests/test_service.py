@@ -10,6 +10,7 @@ import signal
 import subprocess
 import sys
 import textwrap
+import threading
 import time
 
 import numpy as np
@@ -47,6 +48,7 @@ from repro.service import (
     ServiceOverloaded,
     ServiceRequest,
     ServiceResponse,
+    ServiceStats,
     TuningService,
     board_installed,
 )
@@ -251,6 +253,42 @@ class TestCircuitBreaker:
         assert breaker.state == "open"
         assert not breaker.allow()
 
+    def test_no_verdict_probe_releases_its_slot(self):
+        """A probed launch that ends in a static/dynamic decline —
+        neither success nor failure — must give the slot back, or the
+        breaker would reject every launch forever."""
+        breaker, clock = self._breaker(
+            failure_threshold=1, reset_timeout=10.0, half_open_probes=1
+        )
+        breaker.record_failure()
+        clock["now"] = 11.0
+        assert breaker.allow()  # the probe slot
+        assert not breaker.allow()
+        breaker.release_probe()  # launch declined with no health verdict
+        assert breaker.allow()  # the slot is free again
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_release_probe_outside_half_open_is_a_no_op(self):
+        breaker, _ = self._breaker(failure_threshold=1)
+        breaker.release_probe()  # closed: no slot was consumed
+        assert breaker.allow()
+        assert breaker.allow()  # closed launches are unlimited
+
+    def test_stale_half_open_probe_reclaimed_after_cooldown(self):
+        """Backstop: a probe whose launch never reports any verdict at
+        all is reclaimed after another ``reset_timeout``."""
+        breaker, clock = self._breaker(
+            failure_threshold=1, reset_timeout=10.0, half_open_probes=1
+        )
+        breaker.record_failure()
+        clock["now"] = 11.0
+        assert breaker.allow()  # probe consumed; verdict never arrives
+        assert not breaker.allow()
+        clock["now"] = 22.0  # a full cool-down later
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the lost slot was reclaimed
+
     def test_board_snapshot_and_open_count(self):
         board = BreakerBoard(BreakerConfig(failure_threshold=1))
         board.failure("fused")
@@ -312,6 +350,54 @@ class TestBreakerChainIntegration:
         clean = _run_saxpy(engine="auto")
         assert not any(k[2] == "breaker" for k in ledger.counts())
         np.testing.assert_array_equal(clean, _run_saxpy(engine="auto"))
+
+    def test_static_decline_probe_does_not_wedge_the_breaker(self):
+        """A half-open probe that ends in a static capability refusal
+        (no health verdict) must release its slot: the tier keeps being
+        probed instead of staying half-open, rejected forever."""
+        from repro.backend import (
+            Backend,
+            CompileUnsupported,
+            register_backend,
+            register_engine,
+        )
+        from repro.backend import registry as registry_mod
+
+        class Refuser(Backend):
+            name = "test-refuser"
+            dynamic_class = "test"
+
+            def plan(self, parsed, kernel):
+                raise CompileUnsupported("always declines")
+
+        clock = {"now": 0.0}
+        board = BreakerBoard(
+            BreakerConfig(
+                failure_threshold=1, reset_timeout=10.0, half_open_probes=1
+            ),
+            clock=lambda: clock["now"],
+        )
+        clean = _run_saxpy(engine="scalar")
+        try:
+            register_backend(Refuser())
+            register_engine(
+                "test-refuser-chain", ("test-refuser", "scalar")
+            )
+            board.failure("test-refuser")  # breaker opens
+            clock["now"] = 11.0  # half-open: launches are probes now
+            with board_installed(board):
+                for _ in range(3):
+                    out = _run_saxpy(engine="test-refuser-chain")
+                    np.testing.assert_array_equal(out, clean)
+            # Every static decline released its probe slot, so the
+            # breaker never rejected a launch pre-emptively.
+            assert not any(
+                key[2] == "breaker" for key in ledger.counts()
+            ), ledger.counts()
+            assert board.breaker("test-refuser").state == "half-open"
+        finally:
+            registry_mod._BACKENDS.pop("test-refuser", None)
+            registry_mod._ENGINES.pop("test-refuser-chain", None)
 
 
 # ---------------------------------------------------------------------------
@@ -527,6 +613,36 @@ class TestTuningService:
             assert "breakers" in doc and "journal" in doc
         assert not obs.snapshot()["service"]["active"]
 
+    def test_shutdown_restores_the_previous_metrics_view(self, tmp_path):
+        with _service(tmp_path / "outer") as outer:
+            outer.submit_run(**_toy_payload()).result(30.0)
+            inner = _service(tmp_path / "inner")
+            inner.shutdown()
+            # The inner shutdown restores the still-running outer
+            # service's view rather than clobbering the slot.
+            doc = obs.snapshot()["service"]
+            assert doc["active"]
+            assert doc["stats"]["completed"] == 1
+        # The last shutdown leaves no stale stats in the snapshot.
+        doc = obs.snapshot()["service"]
+        assert not doc["active"]
+        assert "stats" not in doc
+
+    def test_stats_bump_is_thread_safe(self):
+        stats = ServiceStats()
+
+        def hammer():
+            for _ in range(5000):
+                stats.bump("admits")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.admits == 40000
+        assert stats.as_dict()["admits"] == 40000
+
     def test_tune_request_runs_exploration(self, tmp_path):
         with _service(tmp_path) as service:
             result = service.submit_tune(
@@ -585,6 +701,38 @@ class TestRecovery:
             hit = cache.get_run(run_key)
             assert hit is not None
             assert hit[0].tobytes() == base_out.tobytes()
+
+    def test_rejected_recovery_reenqueue_keeps_the_orphan(self, tmp_path):
+        """A recovery re-enqueue that hits a full queue must leave the
+        orphan's journal entry on disk for a later recover() — the
+        rejection handler may only unlink entries it created itself."""
+        with _service(tmp_path, workers=1, max_queue=1) as service:
+            service.pause()
+            # Fill the single queue slot with an unrelated cold request.
+            filler = service.submit_run(**_toy_payload(scale=9.0))
+            entry = JournalEntry(
+                "orphan-1", "run", "",
+                {"kind": "toy", "n": 32, "scale": 1.0},
+            )
+            assert service.journal.begin(entry)
+            with pytest.raises(ServiceOverloaded):
+                service.submit_run(
+                    **_toy_payload(scale=1.0), _recover_entry=entry
+                )
+            assert "orphan-1" in [
+                e.request_id for e in service.journal.pending()
+            ], "overloaded recovery deleted the orphan from disk"
+            service.resume()
+            filler.result(30.0)
+            # With the queue free again, a later recover() replays it.
+            assert service.recover(_toy_resolver) == 1
+            deadline = time.monotonic() + 30.0
+            while (
+                service.stats.completed + service.stats.warm_hits < 2
+            ):
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+        assert not RecoveryJournal(tmp_path / "journal").pending()
 
     def test_unresolvable_orphan_is_quarantined(self, tmp_path):
         journal_dir = tmp_path / "journal"
