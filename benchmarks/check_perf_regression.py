@@ -299,6 +299,64 @@ def check_explore(metrics_path: Path, baseline_path: Path) -> list:
     return failures
 
 
+def check_calibration(metrics_path: Path, floor_path: Path) -> list:
+    """Gate the cost model's rank quality on the benchmark menus.
+
+    ``metrics_path`` is a ``--metrics-json`` snapshot from a
+    ``benchsuite calibrate`` run; its ``calibration.workloads`` section
+    carries per-workload Spearman rank correlation between the static
+    prediction and the measured-counter runtime.  The checked-in floors
+    (``calibration_floor.json``) are set well below the recorded values
+    (~0.9) so noise cannot fire the gate, but a cost-model change that
+    scrambles the ranking (correlation collapsing toward zero) fails
+    loudly.  Top-5 regret is gated as a hard ceiling: the true best
+    schedule must stay inside the model's top-5 shortlist within the
+    recorded margin."""
+    metrics = json.loads(metrics_path.read_text())
+    floors = json.loads(floor_path.read_text())
+    workloads = metrics.get("calibration", {}).get("workloads", {})
+    failures = []
+    for name, floor in floors["spearman_floor"].items():
+        entry = workloads.get(name)
+        if entry is None or entry.get("spearman") is None:
+            failures.append(
+                f"calibration[{name}]: no calibration records in "
+                f"{metrics_path} — did the calibrate run cover it?"
+            )
+            continue
+        rho = entry["spearman"]
+        status = "ok" if rho >= floor else "REGRESSION"
+        print(
+            f"[calibration] {name}: spearman {rho:.3f} "
+            f"(floor {floor:.2f}) {status}"
+        )
+        if rho < floor:
+            failures.append(
+                f"calibration[{name}]: rank correlation {rho:.3f} below "
+                f"floor {floor:.2f} — the static cost model no longer "
+                "ranks candidates the way measured counters do"
+            )
+    ceiling = floors.get("top5_regret_ceiling")
+    if ceiling is not None:
+        for name, entry in workloads.items():
+            regret = entry.get("top5_regret")
+            if regret is None:
+                continue
+            status = "ok" if regret <= ceiling else "REGRESSION"
+            print(
+                f"[calibration] {name}: top-5 regret {regret * 100:.1f}% "
+                f"(ceiling {ceiling * 100:.0f}%) {status}"
+            )
+            if regret > ceiling:
+                failures.append(
+                    f"calibration[{name}]: top-5 regret "
+                    f"{regret * 100:.1f}% above the "
+                    f"{ceiling * 100:.0f}% ceiling — the true best "
+                    "schedule fell out of the model's shortlist"
+                )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -310,6 +368,11 @@ def main(argv=None) -> int:
         help="BENCH_explore metrics produced by bench_explore.py in this "
              "run; the explore gate is skipped when absent",
     )
+    parser.add_argument(
+        "--calibration-json", default=None, type=Path,
+        help="metrics snapshot from a `benchsuite calibrate` run; the "
+             "calibration gate is skipped when absent",
+    )
     args = parser.parse_args(argv)
 
     failures = check_simulator(args.baseline_dir / "BENCH_simulator.json")
@@ -320,6 +383,16 @@ def main(argv=None) -> int:
         )
     elif args.explore_json is not None:
         print(f"[explore] metrics file {args.explore_json} missing; skipped")
+    if args.calibration_json is not None and args.calibration_json.exists():
+        failures += check_calibration(
+            args.calibration_json,
+            args.baseline_dir / "calibration_floor.json",
+        )
+    elif args.calibration_json is not None:
+        print(
+            f"[calibration] metrics file {args.calibration_json} missing; "
+            "skipped"
+        )
 
     if failures:
         print("\nperformance regression gate FAILED:")

@@ -8,12 +8,19 @@ overlap means a broken clock or a span leaked across threads), and —
 optionally — that a set of required span names is present, so the CI
 trace job notices when an instrumented call site is silently removed.
 
+Span *args* can be validated too: ``--require-args NAME:key1,key2``
+asserts every event named ``NAME`` carries those keys under ``args``,
+so the trace stays joinable with the calibration log and the service's
+request classes (``explore.evaluate`` carries engine/workload,
+``service.execute`` carries structural_hash/request_class).
+
 Exit status 0 = valid, 1 = invalid (with a report on stdout).
 
 Usage::
 
     python benchmarks/check_trace.py TRACE.json
         [--require launch plan run ...] [--min-events N]
+        [--require-args 'service.execute:structural_hash,request_class']
 """
 
 from __future__ import annotations
@@ -36,8 +43,14 @@ _BY_PHASE = {
 _EPSILON_US = 0.5
 
 
-def validate(document: dict, require=(), min_events: int = 1) -> list:
-    """All schema/nesting violations in the document (empty = valid)."""
+def validate(
+    document: dict, require=(), min_events: int = 1, require_args=None
+) -> list:
+    """All schema/nesting violations in the document (empty = valid).
+
+    ``require_args`` maps span names to argument keys every event of
+    that name must carry under ``args`` (names the events must exist
+    at all, like ``require``)."""
     errors = []
     events = document.get("traceEvents")
     if not isinstance(events, list):
@@ -87,6 +100,29 @@ def validate(document: dict, require=(), min_events: int = 1) -> list:
         if name not in names:
             errors.append(f"required span {name!r} absent from the trace")
 
+    for name, keys in (require_args or {}).items():
+        matching = [
+            e for e in events
+            if isinstance(e, dict) and e.get("name") == name
+        ]
+        if not matching:
+            errors.append(
+                f"required span {name!r} absent from the trace "
+                f"(args {sorted(keys)} unverifiable)"
+            )
+            continue
+        for event in matching:
+            span_args = event.get("args")
+            if not isinstance(span_args, dict):
+                errors.append(f"span {name!r} carries no args dict")
+                continue
+            missing = sorted(k for k in keys if k not in span_args)
+            if missing:
+                errors.append(
+                    f"span {name!r} missing args {missing} "
+                    f"(has {sorted(span_args)})"
+                )
+
     errors += _check_nesting(spans)
 
     dropped = document.get("otherData", {}).get("droppedEvents", 0)
@@ -132,7 +168,24 @@ def main(argv=None) -> int:
         "--min-events", type=int, default=1,
         help="minimum number of complete spans expected",
     )
+    parser.add_argument(
+        "--require-args", nargs="*", default=[], metavar="NAME:K1,K2",
+        help="span-arg requirements: every event named NAME must carry "
+             "args K1, K2, ... (e.g. "
+             "'service.execute:structural_hash,request_class')",
+    )
     args = parser.parse_args(argv)
+
+    require_args = {}
+    for spec in args.require_args:
+        name, sep, keys = spec.partition(":")
+        if not sep or not name or not keys:
+            print(f"trace gate FAILED: bad --require-args spec {spec!r} "
+                  "(want NAME:key1,key2)")
+            return 1
+        require_args.setdefault(name, set()).update(
+            k for k in keys.split(",") if k
+        )
 
     try:
         document = json.loads(args.trace.read_text())
@@ -141,7 +194,8 @@ def main(argv=None) -> int:
         return 1
 
     errors = validate(
-        document, require=args.require, min_events=args.min_events
+        document, require=args.require, min_events=args.min_events,
+        require_args=require_args,
     )
     events = document.get("traceEvents") or []
     if errors:

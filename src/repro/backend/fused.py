@@ -284,6 +284,13 @@ class _GridBlock(_Block):
             self._sym_log[key] = sym
         sym.add(stride, base, k)
 
+    def _obs_load_events(self) -> int:
+        """Running load-event total including the symbolic log (the
+        closed-form chunks count element events as they are added)."""
+        return super()._obs_load_events() + sum(
+            sym.events for sym in self._sym_log.values()
+        )
+
     def _flush_load_log(self) -> None:
         counters = self.counters
         prof = _obs_profile.ACTIVE
@@ -1291,11 +1298,23 @@ class FusedKernel:
                     if prof is None:
                         fn(block, m, n, frame)
                     else:
+                        before = dict(vars(block.counters))
+                        loads0 = block._obs_load_events()
                         t0 = time.perf_counter()
                         fn(block, m, n, frame)
                         prof.record_segment(
                             index, kind, time.perf_counter() - t0
                         )
+                        after = vars(block.counters)
+                        deltas = {
+                            k: after[k] - v
+                            for k, v in before.items()
+                            if after[k] != v
+                        }
+                        load_events = block._obs_load_events() - loads0
+                        if load_events:
+                            deltas["load_events"] = load_events
+                        prof.record_segment_counters(index, kind, deltas)
                 block._flush_load_log()
         except (VectorUnsupported, MemoryError):
             # MemoryError: the whole-grid layout multiplies per-lane

@@ -4,7 +4,9 @@
     python -m repro.benchsuite figure6
     python -m repro.benchsuite figure8 [--sizes small large] [--benchmarks nn gemv ...]
     python -m repro.benchsuite explore [--benchmarks nn gemv ...] [--depth 3] [--cache-dir DIR]
+    python -m repro.benchsuite calibrate [--benchmarks nn gemv mm] [--depth 3]
     python -m repro.benchsuite hammer [--clients 8] [--requests-per-client 6] [--fault-plan 'seed=11;rate=0.05']
+    python -m repro.benchsuite report --inputs m1.json m2.json --output perf-report.md
     python -m repro.benchsuite all
 """
 
@@ -21,7 +23,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "figure6", "figure8", "explore", "hammer", "all"],
+        choices=["table1", "figure6", "figure8", "explore", "calibrate",
+                 "hammer", "report", "all"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -77,6 +80,15 @@ def main(argv=None) -> int:
         help="deterministic fault-injection spec (same syntax as "
              "REPRO_FAULT_PLAN, e.g. 'seed=11;rate=0.05'); recoveries "
              "are reported after the run",
+    )
+    parser.add_argument(
+        "--inputs", nargs="+", default=None, metavar="PATH",
+        help="metrics-snapshot JSON files the report command merges "
+             "(default: the live in-process snapshot)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report markdown to PATH (default: stdout)",
     )
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -161,6 +173,31 @@ def main(argv=None) -> int:
         _print_resilience_summary()
         if not report["ok"]:
             status = 1
+
+    if args.experiment == "calibrate":
+        from repro.benchsuite.calibrate import format_calibrate, run_calibrate
+
+        data = run_calibrate(
+            args.benchmarks,
+            depth=args.depth,
+            max_eval=args.max_eval,
+            size=args.sizes[0],
+            device=args.device,
+            engine=args.engine,
+        )
+        print(format_calibrate(data))
+        _print_resilience_summary()
+
+    if args.experiment == "report":
+        from repro.benchsuite.report import build_report
+
+        markdown = build_report(args.inputs or ())
+        if args.output is not None:
+            with open(args.output, "w") as fh:
+                fh.write(markdown + "\n")
+            print(f"[perf report written to {args.output}]", file=sys.stderr)
+        else:
+            print(markdown)
 
     if args.experiment == "explore":
         from repro.benchsuite.explore import format_explore, run_explore

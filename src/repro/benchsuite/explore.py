@@ -45,7 +45,8 @@ def explore_benchmark(
     inputs, size_env = bench.inputs_for(size)
     high_level = bench.high_level(size_env)
     config = ExploreConfig(
-        depth=depth, max_eval=max_eval, device=device, engine=engine
+        depth=depth, max_eval=max_eval, device=device, engine=engine,
+        workload=name,
     )
 
     # timed_span measures whether or not tracing is active, so the

@@ -337,6 +337,10 @@ def run_hammer(
         "run_hits": cache.stats.run_hits,
         "run_misses": cache.stats.run_misses,
     }
+    # Latency SLOs per request class, from the quantile histograms the
+    # service populated during the soak.  Structural only: CI asserts
+    # the table's shape, never absolute latencies.
+    report["slo"] = obs.analysis.slo_table()
     report["ok"] = (
         not report["mismatches"]
         and not report["client_errors"]
@@ -370,6 +374,10 @@ def format_hammer(report: dict) -> str:
         lines.append(f"  BITWISE MISMATCHES: {report['mismatches']}")
     if report["client_errors"]:
         lines.append(f"  CLIENT ERRORS: {report['client_errors']}")
+    from repro.obs import analysis
+
+    for line in analysis.format_slo(report.get("slo", [])).splitlines():
+        lines.append("  " + line)
     lines.append(
         "  verdict: "
         + ("OK — every response bitwise-identical to the solo path"

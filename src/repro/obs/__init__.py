@@ -12,6 +12,10 @@ Three parts (see ``src/repro/OBSERVABILITY.md`` for the full design):
 * :mod:`repro.obs.profile` — per-barrier-segment timing and per-buffer
   traffic in the compiled/fused backends (``REPRO_PROFILE=1`` or
   ``benchsuite --profile``).
+* :mod:`repro.obs.analysis` — attribution over the other instruments:
+  cost-model calibration (Spearman/regret per workload), per-segment
+  roofline classification, and service latency SLO tables
+  (``benchsuite calibrate`` / ``report``).
 
 This package is a *leaf*: it imports nothing from the rest of
 ``repro`` at module level, so every subsystem may import it freely.
@@ -21,10 +25,11 @@ changes buffers, ``Counters``, or control flow.
 
 from __future__ import annotations
 
-from . import metrics, profile, trace
+from . import analysis, metrics, profile, trace
 from .adapters import (
     install_default_providers,
     register_cache_stats,
+    register_calibration,
     register_counters,
     register_explore,
     register_fault_sites,
@@ -46,6 +51,7 @@ __all__ = [
     "trace",
     "metrics",
     "profile",
+    "analysis",
     "span",
     "timed_span",
     "instant",
@@ -59,6 +65,7 @@ __all__ = [
     "register_provider",
     "register_counters",
     "register_cache_stats",
+    "register_calibration",
     "register_explore",
     "register_ledger",
     "register_fault_sites",

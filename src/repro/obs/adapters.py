@@ -34,6 +34,7 @@ __all__ = [
     "register_ledger",
     "register_fault_sites",
     "register_profiler",
+    "register_calibration",
     "register_service",
     "install_default_providers",
 ]
@@ -112,6 +113,14 @@ def register_profiler() -> None:
     metrics.register_provider("profile", profile.as_dict)
 
 
+def register_calibration() -> None:
+    """Expose the explorer's cost-model calibration log
+    (:data:`repro.obs.analysis.LOG`)."""
+    from . import analysis
+
+    metrics.register_provider("calibration", analysis.LOG.as_dict)
+
+
 def register_service(view) -> None:
     """Expose a :class:`~repro.service.daemon.TuningService` view
     (stats, queue depth/capacity, breaker states, journal backlog)."""
@@ -127,6 +136,7 @@ def install_default_providers() -> None:
     register_ledger()
     register_fault_sites()
     register_profiler()
+    register_calibration()
     metrics.register_provider(
         "cache", lambda: {"active": False}, replace=False
     )

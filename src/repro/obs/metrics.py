@@ -15,7 +15,9 @@ Snapshot layout::
     {
       "counters":   {"launch.total": 12, "launch.served.fused": 12, ...},
       "gauges":     {...},
-      "histograms": {"explore.level_width": {"count": 3, "total": ...}},
+      "histograms": {"explore.level_width": {"count": 3, "total": ...,
+                      "min": ..., "max": ..., "mean": ...,
+                      "p50": ..., "p95": ..., "p99": ...}},
       "cache":      {...CacheStats...},
       "explore":    {"stats": {...}, "failures": [...]},
       "ledger":     {...DegradationLedger...},
@@ -36,6 +38,7 @@ from typing import Callable, Dict, Optional
 __all__ = [
     "MetricsRegistry",
     "REGISTRY",
+    "QUANTILES",
     "inc",
     "set_gauge",
     "observe",
@@ -50,6 +53,94 @@ __all__ = [
 #: shadow them.
 _RESERVED = ("counters", "gauges", "histograms")
 
+#: The quantiles every histogram estimates (snapshot keys ``p50``,
+#: ``p95``, ``p99``).
+QUANTILES = (0.50, 0.95, 0.99)
+
+
+class _P2Quantile:
+    """Jain & Chlamtáč's P² streaming quantile estimator.
+
+    Five markers track (min, q/2, q, (1+q)/2, max); each observation
+    adjusts marker heights by a piecewise-parabolic formula.  Memory is
+    O(1) per quantile regardless of stream length, and the algorithm is
+    fully deterministic — the same observation sequence always yields
+    the same estimate, which is what lets tests and CI assert on it.
+    For fewer than five observations the estimate is the exact
+    (linearly interpolated) sample quantile.
+    """
+
+    __slots__ = ("q", "n", "heights", "positions", "desired", "rates")
+
+    def __init__(self, q: float) -> None:
+        self.q = q
+        self.n = 0
+        self.heights: list = []
+        self.positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self.desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+        self.rates = (0.0, q / 2, q, (1 + q) / 2, 1.0)
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        h = self.heights
+        if len(h) < 5:
+            h.append(x)
+            h.sort()
+            return
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= h[k + 1]:
+                k += 1
+        pos = self.positions
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        desired = self.desired
+        for i in range(5):
+            desired[i] += self.rates[i]
+        for i in (1, 2, 3):
+            d = desired[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                sign = 1.0 if d > 0 else -1.0
+                new = self._parabolic(i, sign)
+                if not (h[i - 1] < new < h[i + 1]):
+                    # Parabolic estimate escaped the bracket: fall back
+                    # to linear interpolation toward the neighbour.
+                    j = i + int(sign)
+                    new = h[i] + sign * (h[j] - h[i]) / (pos[j] - pos[i])
+                h[i] = new
+                pos[i] += sign
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, pos = self.heights, self.positions
+        return h[i] + d / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + d)
+            * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - d)
+            * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1])
+        )
+
+    def value(self) -> float:
+        h = self.heights
+        if not h:
+            return 0.0
+        if len(h) < 5:
+            # Exact interpolated sample quantile over what we have.
+            idx = self.q * (len(h) - 1)
+            lo = int(idx)
+            hi = min(lo + 1, len(h) - 1)
+            return h[lo] + (idx - lo) * (h[hi] - h[lo])
+        return h[2]
+
 
 class MetricsRegistry:
     """Thread-safe named counters/gauges/histograms plus providers."""
@@ -58,7 +149,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
-        # name -> [count, total, min, max]
+        # name -> [count, total, min, max, (quantile estimators)]
         self._hists: Dict[str, list] = {}
         self._providers: Dict[str, Callable[[], object]] = {}
 
@@ -75,14 +166,19 @@ class MetricsRegistry:
         with self._lock:
             h = self._hists.get(name)
             if h is None:
-                self._hists[name] = [1, value, value, value]
-            else:
-                h[0] += 1
-                h[1] += value
-                if value < h[2]:
-                    h[2] = value
-                if value > h[3]:
-                    h[3] = value
+                h = [
+                    0, 0.0, value, value,
+                    tuple(_P2Quantile(q) for q in QUANTILES),
+                ]
+                self._hists[name] = h
+            h[0] += 1
+            h[1] += value
+            if value < h[2]:
+                h[2] = value
+            if value > h[3]:
+                h[3] = value
+            for est in h[4]:
+                est.add(value)
 
     def counter(self, name: str) -> int:
         with self._lock:
@@ -129,6 +225,10 @@ class MetricsRegistry:
                         "min": h[2],
                         "max": h[3],
                         "mean": h[1] / h[0],
+                        **{
+                            f"p{int(est.q * 100)}": est.value()
+                            for est in h[4]
+                        },
                     }
                     for name, h in self._hists.items()
                 },

@@ -58,6 +58,11 @@ class KernelProfiler:
         self._segments: dict = {}
         # (kernel, buffer_name, space) -> [loads, cached_loads, stores]
         self._traffic: dict = {}
+        # (kernel, segment_index, kind) -> {counter_name: delta_sum}
+        # Out-of-band snapshots of the in-band Counters taken around
+        # each segment by the profiled execution paths; this is what
+        # roofline attribution reads its per-segment flops/bytes from.
+        self._segment_counters: dict = {}
         self._ctx = _LaunchCtx()
 
     # -- launch context --------------------------------------------------
@@ -79,6 +84,23 @@ class KernelProfiler:
             else:
                 cell[0] += 1
                 cell[1] += seconds
+
+    def record_segment_counters(
+        self, index: int, kind: str, deltas: dict
+    ) -> None:
+        """Accumulate a per-segment snapshot of Counters deltas.
+
+        ``deltas`` maps counter field names (``flops``,
+        ``global_loads``, ...) to the amount this segment execution
+        added; zero entries may be omitted by the caller."""
+        key = (self._ctx.kernel or "?", index, kind)
+        with self._lock:
+            cell = self._segment_counters.get(key)
+            if cell is None:
+                self._segment_counters[key] = dict(deltas)
+            else:
+                for name, delta in deltas.items():
+                    cell[name] = cell.get(name, 0) + delta
 
     def record_loads(
         self, array, space: str, fresh: int, cached: int
@@ -121,6 +143,11 @@ class KernelProfiler:
                     "kind": kind,
                     "calls": calls,
                     "seconds": seconds,
+                    "counters": dict(
+                        self._segment_counters.get(
+                            (kernel, index, kind), {}
+                        )
+                    ),
                 }
                 for (kernel, index, kind), (calls, seconds)
                 in self._segments.items()
@@ -167,6 +194,7 @@ class KernelProfiler:
         with self._lock:
             self._segments.clear()
             self._traffic.clear()
+            self._segment_counters.clear()
 
 
 #: Module-level hot-path gate: ``None`` means profiling is off.

@@ -62,6 +62,11 @@ class DeviceProfile:
     compute_units: int = 16
     #: Maximum resident threads per compute unit (the occupancy limit).
     max_threads_per_cu: int = 2048
+    #: Peak single-precision throughput (GFLOP/s) — the roofline's flat
+    #: ceiling.  Vendor datasheet figures, like the cycle weights.
+    peak_gflops: float = 1000.0
+    #: Peak DRAM bandwidth (GB/s) — the roofline's sloped ceiling.
+    peak_bandwidth_gbs: float = 100.0
 
     @staticmethod
     def nvidia_titan_black() -> "DeviceProfile":
@@ -91,6 +96,8 @@ class DeviceProfile:
             warp_width=32,
             compute_units=15,
             max_threads_per_cu=2048,
+            peak_gflops=5121.0,
+            peak_bandwidth_gbs=336.0,
         )
 
     @staticmethod
@@ -115,11 +122,19 @@ class DeviceProfile:
             warp_width=64,
             compute_units=44,
             max_threads_per_cu=2560,
+            peak_gflops=5632.0,
+            peak_bandwidth_gbs=320.0,
         )
 
     def occupancy_limit(self) -> int:
         """Maximum concurrently resident threads on the whole device."""
         return self.compute_units * self.max_threads_per_cu
+
+    def ridge_point(self) -> float:
+        """Arithmetic intensity (flop/byte) where the roofline's memory
+        slope meets the compute ceiling.  Kernels below it are
+        bandwidth-bound; above it, compute-bound."""
+        return self.peak_gflops / self.peak_bandwidth_gbs
 
 
 def estimate_cycles(counters: Counters, profile: DeviceProfile) -> float:

@@ -1165,6 +1165,20 @@ class _Block:
                 prof.record_loads(log.array, log.space, fresh, cached)
         self._load_log.clear()
 
+    def _obs_load_events(self) -> int:
+        """Out-of-band running total of logged load events.
+
+        Loads enter ``Counters`` only at block end (:meth:`
+        _flush_load_log` settles the cached/fresh split), so the
+        profiler's per-segment attribution reads this cheap running
+        count instead.  Events include would-be cache hits, making the
+        per-segment figure total load *traffic*, not distinct
+        addresses.  Profiler-only: never feeds back into Counters."""
+        return sum(
+            log.events * log.width_units
+            for log in self._load_log.values()
+        )
+
     def _count_stores(self, ptr, space, count) -> None:
         """Count ``count`` store units against ``space``.
 

@@ -881,9 +881,19 @@ class Pipeline:
                 n = int(np.count_nonzero(m))
                 if n == 0:
                     return
+            before = dict(vars(block.counters))
+            loads0 = block._obs_load_events()
             t0 = time.perf_counter()
             segment(block, m, n, frame)
             prof.record_segment(index, "compiled", time.perf_counter() - t0)
+            after = vars(block.counters)
+            deltas = {
+                k: after[k] - v for k, v in before.items() if after[k] != v
+            }
+            load_events = block._obs_load_events() - loads0
+            if load_events:
+                deltas["load_events"] = load_events
+            prof.record_segment_counters(index, "compiled", deltas)
 
 
 def compile_kernel_pipeline(

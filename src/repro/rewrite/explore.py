@@ -196,6 +196,11 @@ class ExploreConfig:
     #: Cooperative cancellation: cancel() aborts the search at the next
     #: stage boundary; partial results are still ranked and returned.
     cancellation: Optional[CancellationToken] = None
+    #: Label under which evaluated candidates are recorded in the
+    #: cost-model calibration log (:mod:`repro.obs.analysis`); the
+    #: benchsuite passes the benchmark name.  ``None`` records under
+    #: ``"adhoc"``.
+    workload: Optional[str] = None
 
     def rule_menu(self) -> list:
         # Macro rules first: the beam caps each BFS level, and one
@@ -305,6 +310,9 @@ class ExploredCandidate:
     #: quantity candidates are ranked by.
     runtime: Optional[float] = None
     kernel_source: Optional[str] = None
+    #: Canonical (alpha-equivalence) form of ``program`` — the dedup
+    #: key, reused as the calibration/trace join key.
+    canonical_form: str = ""
 
     def describe_trace(self) -> str:
         return " -> ".join(self.trace) if self.trace else "(original)"
@@ -785,6 +793,7 @@ def explore_program(
                     local_size=local_size,
                     global_size=global_size,
                     static_cost=static_cost,
+                    canonical_form=key,
                 )
     stats.finished = len(finished)
 
@@ -827,6 +836,7 @@ def explore_program(
         """
         if token is not None:
             token.raise_if_cancelled()
+        cand_hash = obs.analysis.short_hash(cand.canonical_form)
         options = CompilerOptions(local_size=cand.local_size)
         kernel = None
         key = None
@@ -835,7 +845,10 @@ def explore_program(
             kernel = cache.get_kernel(key)
         if kernel is None:
             try:
-                with obs.span("explore.compile", candidate=cand.label):
+                with obs.span(
+                    "explore.compile", candidate=cand.label,
+                    structural_hash=cand_hash,
+                ):
                     kernel = compile_kernel(
                         specialize_sizes(cand.program, size_env), options
                     )
@@ -862,7 +875,10 @@ def explore_program(
                 p.name: inputs[p.name] for p in cand.program.params
             }
             try:
-                with obs.span("explore.simulate", candidate=cand.label):
+                with obs.span(
+                    "explore.simulate", candidate=cand.label,
+                    structural_hash=cand_hash,
+                ):
                     run = execute_kernel(
                         kernel, kernel_inputs, size_env, cand.global_size,
                         local_size=cand.local_size, engine=config.engine,
@@ -877,7 +893,10 @@ def explore_program(
             if token is not None:
                 token.raise_if_cancelled()
             faultinject.survive("verify")
-            with obs.span("explore.verify", candidate=cand.label):
+            with obs.span(
+                "explore.verify", candidate=cand.label,
+                structural_hash=cand_hash,
+            ):
                 out = np.asarray(run.output, dtype=float).ravel()
                 if config.rtol is None:
                     ok = out.shape == reference.shape and np.array_equal(
@@ -947,6 +966,7 @@ def explore_program(
                     )
                 else:
                     result = _evaluate_once(cand, events, attempt_token)
+                events["elapsed"] = time.monotonic() - start
                 return result, dict(events), None
             except _StageFailure as exc:
                 return fail(exc.kind, exc.message, attempt)
@@ -993,9 +1013,12 @@ def explore_program(
     pipelines_before = simt_compile.compile_count()
     evaluated: list = []
     failures: list = []
+    workload = config.workload or "adhoc"
     with obs.span(
         "explore.evaluate", candidates=len(survivors),
         workers=max(1, config.workers),
+        engine=config.engine or "auto", device=config.device,
+        workload=workload,
     ), ThreadPoolExecutor(max_workers=max(1, config.workers)) as pool:
         scheduled = []
         for cand in survivors:
@@ -1027,6 +1050,19 @@ def explore_program(
                     stats.aborted = True
                 continue
             evaluated.append(cand)
+            # Out-of-band calibration record: prediction (static cost)
+            # next to measurement (counter-model runtime) — what
+            # ``benchsuite calibrate`` summarizes and CI gates on.
+            obs.analysis.record_candidate(
+                workload=workload,
+                label=cand.label,
+                canonical_text=cand.canonical_form,
+                trace=cand.trace,
+                static_cost=cand.static_cost,
+                modeled_runtime=cand.runtime,
+                measured_cycles=cand.cycles,
+                wall_seconds=events.get("elapsed"),
+            )
     stats.evaluated = len(evaluated)
     stats.pipeline_compiles = simt_compile.compile_count() - pipelines_before
 

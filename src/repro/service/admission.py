@@ -50,6 +50,9 @@ class ServiceResponse:
         self._event = threading.Event()
         self._value: Any = None
         self._error: Optional[BaseException] = None
+        #: Monotonic submit timestamp, stamped by the service for
+        #: latency SLO accounting (out-of-band; ``None`` when untimed).
+        self.submitted_at: Optional[float] = None
 
     # -- producer side -------------------------------------------------
     def complete(self, value: Any) -> None:
@@ -104,6 +107,8 @@ class ServiceRequest:
     #: Whether a journal entry exists for this request (and must be
     #: committed on completion).
     journaled: bool = False
+    #: Monotonic submit timestamp for latency/queue-wait SLOs.
+    submitted_at: Optional[float] = None
     #: Duplicate concurrent submissions coalesced onto this request.
     followers: List[ServiceResponse] = field(default_factory=list)
 

@@ -396,6 +396,7 @@ class TuningService:
         warm_probe: Optional[Callable[[], Any]] = None,
         recover_entry: Optional[JournalEntry] = None,
     ) -> ServiceResponse:
+        submit_ts = time.monotonic()
         with obs.span("service.submit", kind=kind):
             if not self._active or self._queue.closed:
                 raise ServiceClosed("service is draining; admission closed")
@@ -425,7 +426,12 @@ class TuningService:
                         # kill: serving the cache entry completes it.
                         self._journal.commit(recover_entry.request_id)
                     response = ServiceResponse(self._next_id(kind, key))
+                    response.submitted_at = submit_ts
                     response.complete(hit)
+                    obs.observe(
+                        "service.latency.warm_hit",
+                        time.monotonic() - submit_ts,
+                    )
                     return response
 
             if timeout is not None and timeout < 0:
@@ -446,6 +452,7 @@ class TuningService:
                 deadline=deadline,
                 spec=spec,
                 structural_hash=structural_hash,
+                submitted_at=submit_ts,
             )
 
             # Single-flight: identical concurrent cold requests coalesce
@@ -454,6 +461,7 @@ class TuningService:
                 primary = self._inflight.get(key)
                 if primary is not None:
                     follower = ServiceResponse(request_id)
+                    follower.submitted_at = submit_ts
                     primary.followers.append(follower)
                     self.stats.bump("coalesced")
                     obs.inc("service.coalesced")
@@ -534,9 +542,33 @@ class TuningService:
             request.complete(value)
         else:
             request.fail(error)
+        # End-to-end latency per request class (SLO histograms).  The
+        # followers list is frozen: the request left ``_inflight`` above,
+        # so no new coalesced submissions can attach.
+        now = time.monotonic()
+        if request.submitted_at is not None:
+            obs.observe(
+                "service.latency.cold", now - request.submitted_at
+            )
+        for follower in request.followers:
+            if follower.submitted_at is not None:
+                obs.observe(
+                    "service.latency.coalesced",
+                    now - follower.submitted_at,
+                )
 
     def _process(self, request: ServiceRequest) -> None:
-        with obs.span("service.execute", kind=request.kind, id=request.id):
+        if request.submitted_at is not None:
+            obs.observe(
+                "service.queue_wait.cold",
+                time.monotonic() - request.submitted_at,
+            )
+        with obs.span(
+            "service.execute", kind=request.kind, id=request.id,
+            structural_hash=request.structural_hash[:12],
+            request_class="cold",
+            engine=(request.spec or {}).get("engine") or "auto",
+        ):
             if request.token.cancelled:
                 self.stats.bump("cancelled")
                 self._finish(request, error=Cancelled("request cancelled"))

@@ -205,6 +205,9 @@ class TestMetricsRegistry:
         assert doc["gauges"] == {"depth": 3.0}
         assert doc["histograms"]["width"] == {
             "count": 3, "total": 9.0, "min": 1.0, "max": 5.0, "mean": 3.0,
+            # Below five observations the quantiles are exact
+            # (interpolated) sample quantiles over [1, 3, 5].
+            "p50": 3.0, "p95": pytest.approx(4.8), "p99": pytest.approx(4.96),
         }
 
     def test_provider_replace_semantics(self):
